@@ -1,0 +1,20 @@
+"""Helpers shared by the benchmark files (result persistence, single-run timing)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist a rendered result table and echo it to stdout."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[written to {path}]")
+
+
+def run_once(benchmark, function):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, rounds=1, iterations=1)

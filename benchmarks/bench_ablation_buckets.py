@@ -1,0 +1,27 @@
+"""Ablation (DESIGN.md Section 6): bucket boundary and bucket-count strategies."""
+
+from repro.eval import ablation_bucket_strategies, render_table
+
+from _bench_utils import run_once, write_result
+
+
+def test_ablation_bucket_strategies(benchmark, datasets):
+    def run():
+        return {
+            name: ablation_bucket_strategies(ds, n_samples=40, thresholds=(0.05, 0.1, 0.25))
+            for name, ds in datasets.items()
+        }
+
+    results = run_once(benchmark, run)
+    rows = [
+        {"dataset": name, **{k: v for k, v in sorted(result.mean_kl_by_strategy.items())}}
+        for name, result in results.items()
+    ]
+    write_result(
+        "ablation_buckets",
+        render_table("Ablation: mean KL to raw data per bucketing strategy", rows),
+    )
+    for result in results.values():
+        strategies = result.mean_kl_by_strategy
+        # V-Optimal boundaries should not be (much) worse than equal-width ones.
+        assert strategies["vopt-4"] <= strategies["equal-width-4"] * 1.25

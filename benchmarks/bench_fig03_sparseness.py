@@ -1,0 +1,19 @@
+"""Figure 3: data sparseness — max #trajectories on a path vs path cardinality."""
+
+from repro.eval import fig03_sparseness, render_series
+
+from _bench_utils import run_once, write_result
+
+
+def test_fig03_sparseness(benchmark, datasets):
+    def run():
+        return {name: fig03_sparseness(ds, max_cardinality=25) for name, ds in datasets.items()}
+
+    results = run_once(benchmark, run)
+    series = {name: result.series() for name, result in results.items()}
+    write_result(
+        "fig03_sparseness",
+        render_series("Figure 3: max trajectories on any path vs |P|", series, x_label="|P|"),
+    )
+    for result in results.values():
+        assert result.is_decreasing_overall()

@@ -1,0 +1,32 @@
+"""Figure 4: how wrong the edge-independence assumption is (KL of LB vs ground truth)."""
+
+from repro.eval import fig04_independence, render_series, render_table
+
+from _bench_utils import run_once, write_result
+
+
+def test_fig04_independence(benchmark, datasets):
+    def run():
+        return {
+            name: fig04_independence(ds, n_pairs=120, cardinalities=(2, 3, 4, 5, 6))
+            for name, ds in datasets.items()
+        }
+
+    results = run_once(benchmark, run)
+    sections = []
+    for name, result in results.items():
+        rows = [{"band": band, "share": share} for band, share in result.band_percentages().items()]
+        sections.append(
+            render_table(f"Figure 4(a) ({name}): KL(D_GT, D_LB) for 2-edge paths", rows)
+        )
+    sections.append(
+        render_series(
+            "Figure 4(b): mean KL(D_GT, D_LB) vs |P|",
+            {name: sorted(result.mean_divergence_by_cardinality.items()) for name, result in results.items()},
+            x_label="|P|",
+        )
+    )
+    write_result("fig04_independence", "\n\n".join(sections))
+    for result in results.values():
+        # Dependence is present: a substantial share of adjacent pairs diverge.
+        assert result.dependence_share(threshold=0.25) > 0.15

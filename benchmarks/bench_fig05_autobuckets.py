@@ -1,0 +1,23 @@
+"""Figure 5: the E_b error curve and the automatically selected bucket count."""
+
+from repro.eval import fig05_bucket_selection, render_series
+
+from _bench_utils import run_once, write_result
+
+
+def test_fig05_bucket_selection(benchmark, datasets):
+    def run():
+        return {name: fig05_bucket_selection(ds) for name, ds in datasets.items()}
+
+    results = run_once(benchmark, run)
+    series = {name: result.series() for name, result in results.items()}
+    text = render_series("Figure 5(a): cross-validated error E_b vs bucket count b", series, x_label="b")
+    chosen = "\n".join(
+        f"  {name}: chosen b = {result.chosen_buckets} "
+        f"(from {result.n_observations} observations, {result.auto_histogram.n_buckets} buckets)"
+        for name, result in results.items()
+    )
+    write_result("fig05_autobuckets", text + "\n\nFigure 5(b): auto-selected bucket counts\n" + chosen)
+    for result in results.values():
+        # The error at the chosen bucket count improves on the single-bucket error.
+        assert result.errors_by_bucket_count[result.chosen_buckets - 1] <= result.errors_by_bucket_count[0]

@@ -1,0 +1,32 @@
+"""Figure 8: effect of the interval length alpha on coverage and variable entropy."""
+
+from repro.eval import fig08_alpha, render_series, render_table
+
+from _bench_utils import run_once, write_result
+
+
+def test_fig08_alpha(benchmark, datasets):
+    def run():
+        return {
+            name: fig08_alpha(ds, alphas_minutes=(15, 30, 60, 120), max_cardinality=3)
+            for name, ds in datasets.items()
+        }
+
+    results = run_once(benchmark, run)
+    sections = [
+        render_series(
+            "Figure 8(a): coverage |E'|/|E''| vs alpha (minutes)",
+            {name: result.coverage_series() for name, result in results.items()},
+            x_label="alpha",
+        )
+    ]
+    for name, result in results.items():
+        rows = [
+            {"alpha": alpha, **{f"rank {rank}": value for rank, value in entropies.items()}}
+            for alpha, entropies in sorted(result.entropy_by_alpha.items())
+        ]
+        sections.append(render_table(f"Figure 8(b) ({name}): mean variable entropy by rank", rows))
+    write_result("fig08_alpha", "\n\n".join(sections))
+    for result in results.values():
+        coverage = dict(result.coverage_series())
+        assert coverage[120] >= coverage[15]

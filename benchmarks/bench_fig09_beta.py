@@ -1,0 +1,28 @@
+"""Figure 9: effect of the qualified-trajectory threshold beta on instantiated variables."""
+
+from repro.eval import fig09_beta, render_table
+
+from _bench_utils import run_once, write_result
+
+
+def test_fig09_beta(benchmark, datasets):
+    def run():
+        return {
+            name: fig09_beta(ds, betas=(15, 30, 45, 60), max_cardinality=3)
+            for name, ds in datasets.items()
+        }
+
+    results = run_once(benchmark, run)
+    sections = []
+    for name, result in results.items():
+        rows = [
+            {"beta": beta, **counts, "total": sum(counts.values())}
+            for beta, counts in sorted(result.counts_by_beta.items())
+        ]
+        sections.append(
+            render_table(f"Figure 9 ({name}): instantiated random variables by rank vs beta", rows)
+        )
+    write_result("fig09_beta", "\n\n".join(sections))
+    for result in results.values():
+        totals = result.totals()
+        assert totals[15] >= totals[60]

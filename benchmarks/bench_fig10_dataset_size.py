@@ -1,0 +1,28 @@
+"""Figure 10: instantiated variables as the trajectory dataset grows."""
+
+from repro.eval import fig10_dataset_size, render_table
+
+from _bench_utils import run_once, write_result
+
+
+def test_fig10_dataset_size(benchmark, datasets):
+    def run():
+        return {
+            name: fig10_dataset_size(ds, fractions=(0.25, 0.5, 0.75, 1.0), max_cardinality=3)
+            for name, ds in datasets.items()
+        }
+
+    results = run_once(benchmark, run)
+    sections = []
+    for name, result in results.items():
+        rows = [
+            {"fraction": fraction, **counts, "total": sum(counts.values())}
+            for fraction, counts in sorted(result.counts_by_fraction.items())
+        ]
+        sections.append(
+            render_table(f"Figure 10 ({name}): instantiated random variables vs dataset size", rows)
+        )
+    write_result("fig10_dataset_size", "\n\n".join(sections))
+    for result in results.values():
+        totals = result.totals()
+        assert totals[1.0] >= totals[0.25]

@@ -1,0 +1,33 @@
+"""Figure 11: histogram representation quality (vs parametric fits) and space saving."""
+
+from repro.eval import fig11_histograms, render_table
+
+from _bench_utils import run_once, write_result
+
+
+def test_fig11_histograms(benchmark, datasets):
+    def run():
+        return {name: fig11_histograms(ds, n_samples=60) for name, ds in datasets.items()}
+
+    results = run_once(benchmark, run)
+    kl_rows = []
+    saving_rows = []
+    for name, result in results.items():
+        kl_rows.append({"dataset": name, **{k: v for k, v in sorted(result.mean_kl_by_method.items())}})
+        saving_rows.append(
+            {"dataset": name, **{k: v for k, v in sorted(result.mean_space_saving_by_method.items())}}
+        )
+    text = "\n\n".join(
+        [
+            render_table("Figure 11(a)/(b): mean KL divergence to the raw distribution", kl_rows),
+            render_table("Figure 11(c): mean space-saving ratio vs raw storage", saving_rows),
+        ]
+    )
+    write_result("fig11_histograms", text)
+    for result in results.values():
+        kl = result.mean_kl_by_method
+        assert kl["auto"] <= kl["gaussian"] * 1.1
+        assert kl["auto"] <= kl["gamma"] * 1.1
+        assert kl["exponential"] >= kl["auto"]
+        saving = result.mean_space_saving_by_method
+        assert saving["auto"] >= saving["sta-4"] - 1e-9

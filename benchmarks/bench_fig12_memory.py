@@ -1,0 +1,25 @@
+"""Figure 12: memory footprint of the instantiated random variables."""
+
+from repro.eval import fig12_memory, render_series
+
+from _bench_utils import run_once, write_result
+
+
+def test_fig12_memory(benchmark, datasets):
+    def run():
+        return {
+            name: fig12_memory(ds, fractions=(0.25, 0.5, 0.75, 1.0), max_cardinality=3)
+            for name, ds in datasets.items()
+        }
+
+    results = run_once(benchmark, run)
+    series = {
+        name: sorted(result.megabytes_by_fraction().items()) for name, result in results.items()
+    }
+    write_result(
+        "fig12_memory",
+        render_series("Figure 12: memory usage (MB) of W_P vs dataset fraction", series, x_label="fraction"),
+    )
+    for result in results.values():
+        usage = result.bytes_by_fraction
+        assert usage[1.0] >= usage[0.25]

@@ -1,0 +1,30 @@
+"""Figure 13: estimated distributions of one held-out path, per method."""
+
+from repro.eval import fig13_single_path, render_table
+
+from _bench_utils import run_once, write_result
+
+
+def test_fig13_single_path(benchmark, datasets):
+    def run():
+        return {name: fig13_single_path(ds, cardinality=6) for name, ds in datasets.items()}
+
+    results = run_once(benchmark, run)
+    sections = []
+    for name, result in results.items():
+        rows = [
+            {"method": method, "KL(D_GT, D_method)": kl, "mean cost (s)": result.estimates[method].mean}
+            for method, kl in sorted(result.kl_by_method.items())
+        ]
+        rows.append(
+            {"method": "ground truth", "KL(D_GT, D_method)": 0.0, "mean cost (s)": result.ground_truth.mean}
+        )
+        sections.append(
+            render_table(
+                f"Figure 13 ({name}): held-out path |P|={len(result.path)} at t={result.departure_time_s:.0f}s",
+                rows,
+            )
+        )
+    write_result("fig13_single_path", "\n\n".join(sections))
+    for result in results.values():
+        assert result.kl_by_method["OD"] <= result.kl_by_method["LB"] * 1.1

@@ -1,0 +1,34 @@
+"""Figure 14: accuracy against ground truth (mean KL divergence) vs query cardinality."""
+
+from repro.eval import fig14_accuracy, render_series
+
+from _bench_utils import run_once, write_result
+
+METHODS = ("OD", "LB", "RD", "HP")
+
+
+def test_fig14_accuracy(benchmark, datasets):
+    def run():
+        return {
+            name: fig14_accuracy(ds, cardinalities=(5, 10, 15, 20), n_paths=8)
+            for name, ds in datasets.items()
+        }
+
+    results = run_once(benchmark, run)
+    sections = []
+    for name, result in results.items():
+        sections.append(
+            render_series(
+                f"Figure 14 ({name}): mean KL(D_GT, estimate) vs |P_query|",
+                {method: result.series(method) for method in METHODS},
+                x_label="|P_query|",
+            )
+        )
+    write_result("fig14_accuracy", "\n\n".join(sections))
+    for result in results.values():
+        if not result.mean_kl:
+            continue
+        largest = max(result.mean_kl)
+        values = result.mean_kl[largest]
+        # OD must not lose to the legacy convolution baseline on the longest paths.
+        assert values["OD"] <= values["LB"] * 1.05

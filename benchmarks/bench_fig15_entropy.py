@@ -1,0 +1,29 @@
+"""Figure 15: entropy of the estimated joint distribution on long query paths."""
+
+from repro.eval import fig15_entropy, render_series
+
+from _bench_utils import run_once, write_result
+
+METHODS = ("OD", "HP", "RD", "LB")
+
+
+def test_fig15_entropy(benchmark, datasets):
+    def run():
+        return {
+            name: fig15_entropy(ds, cardinalities=(20, 40, 60, 80, 100), n_paths=8)
+            for name, ds in datasets.items()
+        }
+
+    results = run_once(benchmark, run)
+    sections = [
+        render_series(
+            f"Figure 15 ({name}): mean estimate entropy H_DE vs |P_query|",
+            {method: result.series(method) for method in METHODS},
+            x_label="|P_query|",
+        )
+        for name, result in results.items()
+    ]
+    write_result("fig15_entropy", "\n\n".join(sections))
+    for result in results.values():
+        for values in result.mean_entropy.values():
+            assert values["OD"] <= values["LB"] + 1e-6

@@ -1,0 +1,29 @@
+"""Figure 16: run time of cost-distribution estimation vs query cardinality."""
+
+from repro.eval import fig16_efficiency, render_series
+
+from _bench_utils import run_once, write_result
+
+METHODS = ("OD", "RD", "HP", "LB", "OD-2", "OD-3", "OD-4")
+
+
+def test_fig16_efficiency(benchmark, datasets):
+    def run():
+        return {
+            name: fig16_efficiency(ds, cardinalities=(20, 40, 60, 80, 100), n_paths=5)
+            for name, ds in datasets.items()
+        }
+
+    results = run_once(benchmark, run)
+    sections = [
+        render_series(
+            f"Figure 16 ({name}): mean estimation time (s) vs |P_query|",
+            {method: result.series(method) for method in METHODS},
+            x_label="|P_query|",
+        )
+        for name, result in results.items()
+    ]
+    write_result("fig16_efficiency", "\n\n".join(sections))
+    for result in results.values():
+        for values in result.mean_runtime_s.values():
+            assert all(value > 0 for value in values.values())

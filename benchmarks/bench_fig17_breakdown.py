@@ -1,0 +1,32 @@
+"""Figure 17: run-time breakdown of the OD estimator (OI / JC / MC steps)."""
+
+from repro.eval import fig17_breakdown, render_table
+
+from _bench_utils import run_once, write_result
+
+
+def test_fig17_breakdown(benchmark, datasets):
+    def run():
+        return {
+            name: fig17_breakdown(ds, fractions=(0.25, 0.5, 0.75, 1.0), cardinality=20, n_paths=6)
+            for name, ds in datasets.items()
+        }
+
+    results = run_once(benchmark, run)
+    sections = []
+    for name, result in results.items():
+        rows = [
+            {
+                "fraction": fraction,
+                "OI (ms)": steps["oi"] * 1000.0,
+                "JC (ms)": steps["jc"] * 1000.0,
+                "MC (ms)": steps["mc"] * 1000.0,
+            }
+            for fraction, steps in sorted(result.mean_step_seconds.items())
+        ]
+        sections.append(render_table(f"Figure 17 ({name}): OD step breakdown, |P_query|=20", rows))
+    write_result("fig17_breakdown", "\n\n".join(sections))
+    for result in results.values():
+        full = result.mean_step_seconds[1.0]
+        # JC (joint computation) dominates OI, as in the paper.
+        assert full["jc"] >= full["oi"]

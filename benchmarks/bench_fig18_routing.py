@@ -1,0 +1,34 @@
+"""Figure 18: stochastic routing time with LB / HP / OD as the cost estimator."""
+
+from repro.eval import fig18_routing, render_table
+
+from _bench_utils import run_once, write_result
+
+
+def test_fig18_routing(benchmark, datasets):
+    def run():
+        return {
+            name: fig18_routing(
+                ds,
+                budgets_s=(600.0, 1200.0, 1800.0),
+                n_pairs=4,
+                max_path_edges=20,
+                max_expansions=400,
+            )
+            for name, ds in datasets.items()
+        }
+
+    results = run_once(benchmark, run)
+    sections = []
+    for name, result in results.items():
+        rows = [
+            {"budget (s)": budget, **{method: seconds for method, seconds in times.items()}}
+            for budget, times in sorted(result.mean_seconds.items())
+        ]
+        sections.append(
+            render_table(f"Figure 18 ({name}): mean routing time (s) per estimator and budget", rows)
+        )
+    write_result("fig18_routing", "\n\n".join(sections))
+    for result in results.values():
+        for times in result.mean_seconds.values():
+            assert all(value > 0 for value in times.values())

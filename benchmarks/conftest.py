@@ -1,0 +1,59 @@
+"""Shared fixtures for the benchmark / reproduction harness.
+
+Running ``pytest benchmarks/ --benchmark-only`` regenerates every table and
+figure of the paper's evaluation (Section 5) on the two synthetic city
+datasets.  Each benchmark writes the series it produced to
+``benchmarks/results/<figure>.txt`` (and prints it), so the run doubles as
+the reproduction report consumed by EXPERIMENTS.md.
+
+The workload sizes are scaled down from the paper's so the full suite runs
+in minutes on a laptop; the *shapes* of the results are what matters.  Set
+``REPRO_BENCH_SCALE=full`` for larger datasets.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import EstimatorParameters
+from repro.eval import build_dataset
+
+_FULL = os.environ.get("REPRO_BENCH_SCALE", "").lower() == "full"
+
+_AALBORG_TRAJECTORIES = 6000 if _FULL else 2000
+_BEIJING_TRAJECTORIES = 5000 if _FULL else 1600
+_NETWORK_SCALE = 1.0 if _FULL else 0.4
+
+
+@pytest.fixture(scope="session")
+def aalborg_dataset():
+    """The Aalborg-like dataset (dense mixed-category grid city)."""
+    return build_dataset(
+        "aalborg",
+        n_trajectories=_AALBORG_TRAJECTORIES,
+        scale=_NETWORK_SCALE,
+        seed=7,
+        parameters=EstimatorParameters(),
+        max_cardinality=6,
+    )
+
+
+@pytest.fixture(scope="session")
+def beijing_dataset():
+    """The Beijing-like dataset (ring-radial, main roads only)."""
+    return build_dataset(
+        "beijing",
+        n_trajectories=_BEIJING_TRAJECTORIES,
+        scale=_NETWORK_SCALE,
+        seed=9,
+        parameters=EstimatorParameters(),
+        max_cardinality=6,
+    )
+
+
+@pytest.fixture(scope="session")
+def datasets(aalborg_dataset, beijing_dataset):
+    """Both datasets, keyed by name (mirrors the paper's D1 / D2)."""
+    return {"aalborg": aalborg_dataset, "beijing": beijing_dataset}

@@ -1,0 +1,78 @@
+"""The paper's motivating scenario (Figure 1a): catch a flight, not just minimise the mean.
+
+A traveller must reach the airport within a fixed time budget.  Among a set
+of alternative paths, the one with the lowest *mean* travel time is not
+necessarily the one with the highest probability of arriving on time --
+which is exactly why distributions, not averages, matter.
+
+The example builds a synthetic city, learns the hybrid graph, generates a
+handful of alternative routes between a suburb and the "airport" corner of
+the map, and ranks them both by mean travel time and by the probability of
+meeting the deadline.
+
+Run it with ``python examples/airport_deadline.py``.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    EstimatorParameters,
+    HybridGraphBuilder,
+    PathCostEstimator,
+    SimulationParameters,
+    TrafficSimulator,
+    TrajectoryStore,
+    format_time,
+    grid_network,
+    k_shortest_paths,
+    parse_time,
+)
+from repro.routing.queries import ProbabilisticBudgetQuery
+
+
+def main() -> None:
+    network = grid_network(10, 10, block_length_m=300.0, arterial_every=3, name="airport-city")
+    simulator = TrafficSimulator(
+        network, SimulationParameters(n_trajectories=1500, popular_route_count=12, seed=11)
+    )
+    store = TrajectoryStore(simulator.generate())
+    hybrid_graph = HybridGraphBuilder(
+        network, EstimatorParameters(beta=20), max_cardinality=6
+    ).build(store)
+    estimator = PathCostEstimator(hybrid_graph)
+
+    # Travel from the south-west suburb (vertex 0) to the airport in the
+    # north-east corner (last vertex), departing at 08:00.
+    source = 0
+    airport = network.num_vertices - 1
+    departure = parse_time("08:00")
+    candidates = k_shortest_paths(network, source, airport, k=4)
+    print(f"{len(candidates)} candidate paths from vertex {source} to the airport (vertex {airport})")
+
+    estimates = [estimator.estimate(path, departure) for path in candidates]
+    budget = 1.15 * min(estimate.mean for estimate in estimates)
+    print(f"Departure {format_time(departure)}, deadline {budget:.0f} s ({budget / 60.0:.1f} min)\n")
+
+    print(f"{'path':>6} {'edges':>6} {'mean (s)':>10} {'std (s)':>9} {'P(on time)':>11}")
+    for index, estimate in enumerate(estimates):
+        print(
+            f"{index:>6} {len(estimate.path):>6} {estimate.mean:>10.1f} "
+            f"{estimate.histogram.std:>9.1f} {estimate.prob_within(budget):>11.2f}"
+        )
+
+    by_mean = min(range(len(estimates)), key=lambda i: estimates[i].mean)
+    query = ProbabilisticBudgetQuery(departure, budget)
+    best_path, best_probability = query.best_path(estimator, candidates)
+    by_probability = candidates.index(best_path)
+
+    print(f"\nLowest mean travel time      : path {by_mean}")
+    print(f"Highest on-time probability  : path {by_probability} (P = {best_probability:.2f})")
+    if by_mean != by_probability:
+        print("-> The fastest path on average is NOT the safest choice for the deadline;")
+        print("   ranking by the full distribution changes the decision (Figure 1a).")
+    else:
+        print("-> Here both criteria agree; on other seeds (or tighter deadlines) they diverge.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Estimating a path no trajectory ever covered end to end (the sparseness case).
+
+Long paths are almost never traversed by enough trajectories to estimate
+their cost distribution directly (the paper's Figure 3).  The hybrid graph
+handles this by decomposing the query path into the coarsest set of
+sub-paths that *do* have instantiated weights and combining their joint
+distributions (Equation 2).
+
+This example picks a long corridor, removes every trajectory that covered
+it end to end, rebuilds the hybrid graph, and shows that the OD estimate
+still tracks the held-out ground truth much better than the legacy
+edge-convolution baseline.
+
+Run it with ``python examples/sparse_data_estimation.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    AccuracyOptimalEstimator,
+    EstimatorParameters,
+    HybridGraphBuilder,
+    LegacyBaseline,
+    PathCostEstimator,
+    SimulationParameters,
+    TrafficSimulator,
+    TrajectoryStore,
+    format_time,
+    grid_network,
+    histogram_kl_divergence,
+)
+
+
+def main() -> None:
+    network = grid_network(10, 10, block_length_m=260.0, arterial_every=4, name="sparse-city")
+    parameters = EstimatorParameters(beta=20)
+    simulator = TrafficSimulator(
+        network, SimulationParameters(n_trajectories=1800, popular_route_count=10, seed=5)
+    )
+    store = TrajectoryStore(simulator.generate())
+
+    # The busiest corridor and its busiest half hour.
+    route = max(simulator.popular_routes, key=lambda r: store.count_on(r.path))
+    grouped = store.observations_by_interval(route.path, parameters.alpha_minutes)
+    interval_index, observations = max(grouped.items(), key=lambda item: len(item[1]))
+    departure = float(np.median([o.departure_time_s for o in observations]))
+    print(f"Corridor: {len(route.path)} edges, {len(observations)} end-to-end trips "
+          f"around {format_time(departure)}")
+
+    # Ground truth from the end-to-end trips, then pretend we never saw them.
+    ground_truth = AccuracyOptimalEstimator(store, parameters).estimate(route.path, departure)
+    held_out_ids = {o.trajectory_id for o in store.observations_on(route.path)}
+    training_store = store.without_trajectories(held_out_ids)
+    print(f"Held out {len(held_out_ids)} trajectories; {len(training_store)} remain for training")
+
+    hybrid_graph = HybridGraphBuilder(network, parameters, max_cardinality=6).build(training_store)
+    od = PathCostEstimator(hybrid_graph)
+    lb = LegacyBaseline(hybrid_graph)
+
+    od_estimate = od.estimate(route.path, departure)
+    lb_estimate = lb.estimate(route.path, departure)
+    print(f"\nDecomposition used by OD: {len(od_estimate.decomposition)} sub-paths, "
+          f"highest rank {od_estimate.decomposition.max_rank()}")
+
+    print(f"\n{'estimator':>14} {'mean (s)':>9} {'std (s)':>8} {'KL to ground truth':>19}")
+    print(f"{'ground truth':>14} {ground_truth.mean:>9.1f} {ground_truth.histogram.std:>8.1f} {'-':>19}")
+    for name, estimate in (("hybrid (OD)", od_estimate), ("legacy (LB)", lb_estimate)):
+        divergence = histogram_kl_divergence(ground_truth.histogram, estimate.histogram)
+        print(f"{name:>14} {estimate.mean:>9.1f} {estimate.histogram.std:>8.1f} {divergence:>19.3f}")
+
+    print("\nEven with zero end-to-end coverage, the hybrid graph reconstructs the")
+    print("corridor's distribution from overlapping sub-path weights; the legacy")
+    print("baseline ignores the dependencies between edges and drifts further from")
+    print("the ground truth (the paper's Figures 13-14).")
+
+
+if __name__ == "__main__":
+    main()

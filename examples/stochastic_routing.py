@@ -1,0 +1,75 @@
+"""Stochastic routing (Section 4.3 / Figure 18): plug the estimator into a router.
+
+A depth-first stochastic router searches for the path with the highest
+probability of arriving within a travel-time budget.  The cost estimator is
+pluggable, so the same search can run on top of the legacy convolution
+baseline (LB), the adjacent-pairs model (HP), or the hybrid graph (OD) --
+the configuration compared in the paper's Figure 18.
+
+Run it with ``python examples/stochastic_routing.py``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import (
+    DFSStochasticRouter,
+    EstimatorParameters,
+    HPBaseline,
+    HybridGraphBuilder,
+    LegacyBaseline,
+    PathCostEstimator,
+    SimulationParameters,
+    TrafficSimulator,
+    TrajectoryStore,
+    grid_network,
+    parse_time,
+)
+
+
+def main() -> None:
+    network = grid_network(9, 9, block_length_m=280.0, arterial_every=3, name="routing-city")
+    simulator = TrafficSimulator(
+        network, SimulationParameters(n_trajectories=1200, popular_route_count=10, seed=23)
+    )
+    store = TrajectoryStore(simulator.generate())
+    hybrid_graph = HybridGraphBuilder(
+        network, EstimatorParameters(beta=20), max_cardinality=5
+    ).build(store)
+
+    estimators = {
+        "LB-DFS": LegacyBaseline(hybrid_graph),
+        "HP-DFS": HPBaseline(hybrid_graph),
+        "OD-DFS": PathCostEstimator(hybrid_graph),
+    }
+
+    source, target = 0, network.num_vertices - 1
+    departure = parse_time("08:15")
+    budget_s = 30 * 60.0
+    print(
+        f"Route request: vertex {source} -> vertex {target}, departure 08:15, "
+        f"budget {budget_s / 60:.0f} min\n"
+    )
+
+    print(f"{'estimator':>8} {'found':>6} {'P(on time)':>11} {'edges':>6} {'paths tried':>12} {'time (s)':>9}")
+    for name, estimator in estimators.items():
+        router = DFSStochasticRouter(
+            network, estimator, max_path_edges=24, max_expansions=1200
+        )
+        started = time.perf_counter()
+        result = router.find_route(source, target, departure, budget_s)
+        elapsed = time.perf_counter() - started
+        edges = len(result.path) if result.path is not None else 0
+        print(
+            f"{name:>8} {str(result.found):>6} {result.probability:>11.2f} "
+            f"{edges:>6} {result.paths_evaluated:>12} {elapsed:>9.2f}"
+        )
+
+    print("\nAll three routers answer the same query; they differ in how each candidate")
+    print("path's cost distribution is estimated, which affects both the chosen route's")
+    print("on-time probability and the search's running time (the paper's Figure 18).")
+
+
+if __name__ == "__main__":
+    main()

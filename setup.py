@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so that legacy editable installs (``pip install -e . --no-use-pep517``) work
+in offline environments that lack the ``wheel`` package.
+"""
+
+from setuptools import setup
+
+setup()

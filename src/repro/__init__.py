@@ -1,0 +1,142 @@
+"""Hybrid-graph path cost distribution estimation from trajectory data.
+
+A reproduction of Dai, Yang, Guo, Jensen, Hu: *Path Cost Distribution
+Estimation Using Trajectory Data*, PVLDB 10(3), 2016.
+
+The public API re-exports the pieces a typical user needs:
+
+* road-network modelling (:class:`RoadNetwork`, :class:`Path`),
+* trajectory generation / storage (:class:`TrafficSimulator`,
+  :class:`TrajectoryStore`, :class:`HMMMapMatcher`),
+* the hybrid graph and its estimators (:class:`HybridGraphBuilder`,
+  :class:`HybridGraph`, :class:`PathCostEstimator`, the baselines),
+* histograms (:class:`Histogram1D`, :class:`MultiHistogram`), and
+* stochastic routing (:class:`DFSStochasticRouter`).
+"""
+
+from .config import (
+    DEFAULT_ESTIMATOR_PARAMETERS,
+    DEFAULT_EXPERIMENT_PARAMETERS,
+    DEFAULT_SIMULATION_PARAMETERS,
+    EstimatorParameters,
+    ExperimentParameters,
+    SimulationParameters,
+)
+from .exceptions import (
+    ConfigurationError,
+    EstimationError,
+    GraphError,
+    HistogramError,
+    InstantiationError,
+    MapMatchingError,
+    PathError,
+    ReproError,
+    RoutingError,
+    TrajectoryError,
+)
+from .timeutil import TimeInterval, all_intervals, format_time, interval_of, parse_time
+from .roadnet import (
+    Edge,
+    Path,
+    RoadNetwork,
+    Vertex,
+    aalborg_like,
+    beijing_like,
+    grid_network,
+    k_shortest_paths,
+    ring_radial_city,
+    shortest_path,
+)
+from .histograms import (
+    Bucket,
+    Histogram1D,
+    MultiHistogram,
+    RawDistribution,
+    build_auto_histogram,
+    entropy_of_histogram,
+    histogram_kl_divergence,
+    kl_divergence_from_samples,
+)
+from .trajectories import (
+    HMMMapMatcher,
+    MatchedTrajectory,
+    PathObservation,
+    TrafficSimulator,
+    Trajectory,
+    TrajectoryStore,
+)
+from .core import (
+    AccuracyOptimalEstimator,
+    CostEstimate,
+    HPBaseline,
+    HybridGraph,
+    HybridGraphBuilder,
+    InstantiatedVariable,
+    LegacyBaseline,
+    PathCostEstimator,
+    RandomDecompositionEstimator,
+)
+from .routing import DFSStochasticRouter, IncrementalCostEstimator, ProbabilisticBudgetQuery
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccuracyOptimalEstimator",
+    "Bucket",
+    "ConfigurationError",
+    "CostEstimate",
+    "DEFAULT_ESTIMATOR_PARAMETERS",
+    "DEFAULT_EXPERIMENT_PARAMETERS",
+    "DEFAULT_SIMULATION_PARAMETERS",
+    "DFSStochasticRouter",
+    "Edge",
+    "EstimationError",
+    "EstimatorParameters",
+    "ExperimentParameters",
+    "GraphError",
+    "HMMMapMatcher",
+    "HPBaseline",
+    "Histogram1D",
+    "HistogramError",
+    "HybridGraph",
+    "HybridGraphBuilder",
+    "IncrementalCostEstimator",
+    "InstantiatedVariable",
+    "InstantiationError",
+    "LegacyBaseline",
+    "MapMatchingError",
+    "MatchedTrajectory",
+    "MultiHistogram",
+    "Path",
+    "PathCostEstimator",
+    "PathError",
+    "PathObservation",
+    "ProbabilisticBudgetQuery",
+    "RandomDecompositionEstimator",
+    "RawDistribution",
+    "ReproError",
+    "RoadNetwork",
+    "RoutingError",
+    "SimulationParameters",
+    "TimeInterval",
+    "TrafficSimulator",
+    "Trajectory",
+    "TrajectoryError",
+    "TrajectoryStore",
+    "Vertex",
+    "aalborg_like",
+    "all_intervals",
+    "beijing_like",
+    "build_auto_histogram",
+    "entropy_of_histogram",
+    "format_time",
+    "grid_network",
+    "histogram_kl_divergence",
+    "interval_of",
+    "k_shortest_paths",
+    "kl_divergence_from_samples",
+    "parse_time",
+    "ring_radial_city",
+    "shortest_path",
+    "__version__",
+]

@@ -1,0 +1,190 @@
+"""Configuration objects for the estimator, simulator, and experiments.
+
+The paper's tunable parameters (Table 2) are:
+
+* ``alpha`` -- the finest time-interval granularity in minutes (default 30),
+* ``beta`` -- the minimum number of qualified trajectories required to
+  instantiate a path weight (default 30),
+* the query path cardinality, which is a workload parameter rather than an
+  estimator parameter.
+
+This module also holds configuration for the trajectory simulator that
+substitutes for the proprietary Aalborg/Beijing GPS datasets, and for the
+scaled-down experiment presets used by the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .exceptions import ConfigurationError
+
+#: Number of minutes in a day; intervals partition this range.
+MINUTES_PER_DAY = 24 * 60
+
+#: Number of seconds in a day.
+SECONDS_PER_DAY = MINUTES_PER_DAY * 60
+
+
+@dataclass(frozen=True)
+class EstimatorParameters:
+    """Parameters that control hybrid-graph instantiation and estimation.
+
+    Attributes
+    ----------
+    alpha_minutes:
+        Finest time interval of interest, in minutes (paper's alpha,
+        default 30).  A day is partitioned into consecutive intervals of
+        this length.
+    beta:
+        Minimum number of qualified trajectories needed to instantiate a
+        ground-truth (joint) distribution for a path during an interval
+        (paper's beta, default 30).
+    qualification_window_minutes:
+        A trajectory qualifies for departure time ``t`` if it departed on
+        the path within this many minutes of ``t`` (the paper uses
+        "a threshold, e.g. 30 minutes").
+    max_rank:
+        Optional cap on the rank (path cardinality) of instantiated random
+        variables.  ``None`` means no cap (the paper's OD method); the
+        OD-2/OD-3/OD-4 variants in Figure 16 correspond to caps of 2/3/4.
+    cv_folds:
+        Number of folds used by the f-fold cross-validation that selects
+        the number of histogram buckets automatically (Section 3.1).
+    bucket_error_drop_threshold:
+        Relative improvement threshold for the automatic bucket-count
+        selection: adding a bucket must reduce the cross-validated error by
+        at least this fraction, otherwise the search stops.
+    max_buckets:
+        Safety cap on buckets per dimension considered by the automatic
+        selection.
+    """
+
+    alpha_minutes: int = 30
+    beta: int = 30
+    qualification_window_minutes: float = 30.0
+    max_rank: int | None = None
+    cv_folds: int = 5
+    bucket_error_drop_threshold: float = 0.1
+    max_buckets: int = 10
+
+    def __post_init__(self) -> None:
+        if self.alpha_minutes <= 0 or MINUTES_PER_DAY % self.alpha_minutes != 0:
+            raise ConfigurationError(
+                f"alpha_minutes must be a positive divisor of {MINUTES_PER_DAY}, "
+                f"got {self.alpha_minutes}"
+            )
+        if self.beta < 1:
+            raise ConfigurationError(f"beta must be >= 1, got {self.beta}")
+        if self.qualification_window_minutes <= 0:
+            raise ConfigurationError(
+                "qualification_window_minutes must be positive, got "
+                f"{self.qualification_window_minutes}"
+            )
+        if self.max_rank is not None and self.max_rank < 1:
+            raise ConfigurationError(f"max_rank must be >= 1 or None, got {self.max_rank}")
+        if self.cv_folds < 2:
+            raise ConfigurationError(f"cv_folds must be >= 2, got {self.cv_folds}")
+        if not 0.0 < self.bucket_error_drop_threshold < 1.0:
+            raise ConfigurationError(
+                "bucket_error_drop_threshold must be in (0, 1), got "
+                f"{self.bucket_error_drop_threshold}"
+            )
+        if self.max_buckets < 1:
+            raise ConfigurationError(f"max_buckets must be >= 1, got {self.max_buckets}")
+
+    @property
+    def intervals_per_day(self) -> int:
+        """Number of alpha-length intervals that partition a day."""
+        return MINUTES_PER_DAY // self.alpha_minutes
+
+    def with_max_rank(self, max_rank: int | None) -> "EstimatorParameters":
+        """Return a copy of these parameters with a different rank cap."""
+        return EstimatorParameters(
+            alpha_minutes=self.alpha_minutes,
+            beta=self.beta,
+            qualification_window_minutes=self.qualification_window_minutes,
+            max_rank=max_rank,
+            cv_folds=self.cv_folds,
+            bucket_error_drop_threshold=self.bucket_error_drop_threshold,
+            max_buckets=self.max_buckets,
+        )
+
+
+@dataclass(frozen=True)
+class SimulationParameters:
+    """Parameters for the synthetic traffic / trajectory generator.
+
+    The simulator substitutes for the paper's proprietary GPS datasets.  The
+    defaults produce the qualitative phenomena the paper relies on: complex
+    multi-modal cost distributions, correlated consecutive-edge costs, time
+    varying congestion, and sparse coverage of long paths.
+    """
+
+    n_trajectories: int = 3000
+    sampling_period_s: float = 5.0
+    peak_hours: tuple[float, ...] = (8.0, 17.0)
+    peak_width_hours: float = 1.5
+    peak_slowdown: float = 0.45
+    congestion_probability: float = 0.3
+    congestion_slowdown: float = 0.5
+    signal_stop_probability: float = 0.35
+    signal_wait_mean_s: float = 25.0
+    correlation_strength: float = 0.6
+    noise_cv: float = 0.12
+    popular_route_fraction: float = 0.6
+    popular_route_count: int = 20
+    min_trip_edges: int = 2
+    max_trip_edges: int = 30
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.n_trajectories < 1:
+            raise ConfigurationError("n_trajectories must be >= 1")
+        if self.sampling_period_s <= 0:
+            raise ConfigurationError("sampling_period_s must be positive")
+        if not 0.0 <= self.congestion_probability <= 1.0:
+            raise ConfigurationError("congestion_probability must be in [0, 1]")
+        if not 0.0 <= self.signal_stop_probability <= 1.0:
+            raise ConfigurationError("signal_stop_probability must be in [0, 1]")
+        if not 0.0 <= self.correlation_strength <= 1.0:
+            raise ConfigurationError("correlation_strength must be in [0, 1]")
+        if not 0.0 <= self.popular_route_fraction <= 1.0:
+            raise ConfigurationError("popular_route_fraction must be in [0, 1]")
+        if self.min_trip_edges < 1 or self.max_trip_edges < self.min_trip_edges:
+            raise ConfigurationError(
+                "need 1 <= min_trip_edges <= max_trip_edges, got "
+                f"{self.min_trip_edges}..{self.max_trip_edges}"
+            )
+
+
+@dataclass(frozen=True)
+class ExperimentParameters:
+    """Parameter grid used by the evaluation harness (paper Table 2).
+
+    Default values (bold in the paper's Table 2) are ``alpha = 30``,
+    ``beta = 30``.  Query path cardinalities are split the same way the
+    paper splits them: 5-20 with ground truth (Fig. 14) and 20-100 without
+    (Fig. 15, 16).
+    """
+
+    alpha_values_minutes: tuple[int, ...] = (15, 30, 45, 60, 120)
+    beta_values: tuple[int, ...] = (15, 30, 45, 60)
+    query_cardinalities_with_ground_truth: tuple[int, ...] = (5, 10, 15, 20)
+    query_cardinalities_without_ground_truth: tuple[int, ...] = (20, 40, 60, 80, 100)
+    dataset_fractions: tuple[float, ...] = (0.25, 0.5, 0.75, 1.0)
+    default_alpha_minutes: int = 30
+    default_beta: int = 30
+
+    def __post_init__(self) -> None:
+        if self.default_alpha_minutes not in self.alpha_values_minutes:
+            raise ConfigurationError("default_alpha_minutes must appear in alpha_values_minutes")
+        if self.default_beta not in self.beta_values:
+            raise ConfigurationError("default_beta must appear in beta_values")
+        if any(f <= 0 or f > 1 for f in self.dataset_fractions):
+            raise ConfigurationError("dataset_fractions must be in (0, 1]")
+
+
+DEFAULT_ESTIMATOR_PARAMETERS = EstimatorParameters()
+DEFAULT_SIMULATION_PARAMETERS = SimulationParameters()
+DEFAULT_EXPERIMENT_PARAMETERS = ExperimentParameters()

@@ -1,0 +1,185 @@
+"""Path decompositions and the coarsest-decomposition algorithm (Section 4.1).
+
+A decomposition of a query path is an ordered sequence of sub-paths that
+together cover the path, none of which is a sub-path of another (the four
+spatial conditions of Section 4.1.1).  Each decomposition corresponds to a
+set of (conditional) independence assumptions; Theorem 3 shows the coarsest
+decomposition yields the most accurate joint-distribution estimate, and
+Algorithm 1 identifies it from the candidate array by greedily taking the
+highest-rank variable per starting edge and dropping dominated sub-paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import EstimationError
+from ..roadnet.path import Path
+from .relevance import CandidateArray, RelevantVariable
+
+
+@dataclass(frozen=True)
+class Decomposition:
+    """An ordered sequence of relevant variables decomposing a query path."""
+
+    query_path: Path
+    elements: tuple[RelevantVariable, ...]
+
+    def __post_init__(self) -> None:
+        if not self.elements:
+            raise EstimationError("a decomposition needs at least one element")
+        self.validate()
+
+    # ------------------------------------------------------------------ #
+    def validate(self) -> None:
+        """Check the four spatial conditions of Section 4.1.1."""
+        query_ids = self.query_path.edge_ids
+        covered: set[int] = set()
+        previous_start = -1
+        for element in self.elements:
+            start = element.start_index
+            rank = element.rank
+            # (1) each element is a sub-path of the query path, aligned at its start index.
+            if query_ids[start : start + rank] != element.path.edge_ids:
+                raise EstimationError(
+                    f"element {element.path!r} does not align with the query path at {start}"
+                )
+            # (4) elements are ordered by the position of their first edge.
+            if start <= previous_start:
+                raise EstimationError("decomposition elements must be ordered by start position")
+            previous_start = start
+            covered.update(element.path.edge_ids)
+        # (2) the elements together cover the query path.
+        if covered != set(query_ids):
+            missing = set(query_ids) - covered
+            raise EstimationError(f"decomposition does not cover edges {sorted(missing)}")
+        # (3) no element's path is a sub-path of another element's path.
+        for i, first in enumerate(self.elements):
+            for j, second in enumerate(self.elements):
+                if i != j and first.path.is_subpath_of(second.path):
+                    raise EstimationError(
+                        f"element {first.path!r} is a sub-path of {second.path!r}"
+                    )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def paths(self) -> list[Path]:
+        return [element.path for element in self.elements]
+
+    @property
+    def variables(self) -> list:
+        return [element.variable for element in self.elements]
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+    def max_rank(self) -> int:
+        return max(element.rank for element in self.elements)
+
+    def separators(self) -> list[Path | None]:
+        """The shared paths between consecutive elements (``None`` when disjoint).
+
+        Entry ``i`` is ``P_i ∩ P_{i+1}``; these are the denominators of
+        Equation 2.
+        """
+        shared: list[Path | None] = []
+        for first, second in zip(self.elements[:-1], self.elements[1:]):
+            shared.append(first.path.intersection(second.path))
+        return shared
+
+    def is_coarser_than(self, other: "Decomposition") -> bool:
+        """The paper's "coarser" relation between two decompositions of the same path."""
+        if self.query_path != other.query_path:
+            raise EstimationError("can only compare decompositions of the same query path")
+        if [p.edge_ids for p in self.paths] == [p.edge_ids for p in other.paths]:
+            return False
+        at_least_one_differs = False
+        for other_path in other.paths:
+            container = next(
+                (own_path for own_path in self.paths if other_path.is_subpath_of(own_path)), None
+            )
+            if container is None:
+                return False
+            if container != other_path:
+                at_least_one_differs = True
+        return at_least_one_differs
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        inner = ", ".join(repr(path) for path in self.paths)
+        return f"Decomposition({inner})"
+
+
+def coarsest_decomposition(candidate_array: CandidateArray) -> Decomposition:
+    """Algorithm 1: identify the coarsest decomposition from the candidate array.
+
+    For each query-path edge (row), the highest-rank relevant variable is
+    considered; it is appended unless its path is a sub-path of an already
+    selected path.  Theorem 4 shows the result is the unique coarsest
+    decomposition given the relevant variables.
+    """
+    chosen: list[RelevantVariable] = []
+    for position in range(len(candidate_array)):
+        candidate = candidate_array.highest_rank(position)
+        if any(candidate.path.is_subpath_of(existing.path) for existing in chosen):
+            continue
+        chosen.append(candidate)
+    return Decomposition(candidate_array.query_path, tuple(chosen))
+
+
+def random_decomposition(
+    candidate_array: CandidateArray, rng: np.random.Generator
+) -> Decomposition:
+    """A random valid decomposition (the paper's RD comparison method).
+
+    For each row a uniformly random relevant variable is drawn; it is kept
+    unless its path is a sub-path of an already selected path, which keeps
+    the result a valid decomposition while generally not being the coarsest.
+    """
+    chosen: list[RelevantVariable] = []
+    for position in range(len(candidate_array)):
+        covered = chosen and chosen[-1].end_index > position
+        candidate = candidate_array.random_choice(position, rng)
+        if covered and candidate.path.is_subpath_of(chosen[-1].path):
+            continue
+        if any(candidate.path.is_subpath_of(existing.path) for existing in chosen):
+            continue
+        # Guarantee coverage: if this position is not yet covered, the chosen
+        # variable must start here (it does, by construction of the rows).
+        chosen.append(candidate)
+    return Decomposition(candidate_array.query_path, tuple(chosen))
+
+
+def pairwise_decomposition(candidate_array: CandidateArray) -> Decomposition:
+    """The adjacent-pairs decomposition used by the HP baseline.
+
+    Uses rank-2 variables for consecutive edge pairs whenever they are
+    relevant, falling back to unit variables for uncovered edges.  The
+    resulting estimate only models dependencies between adjacent edges.
+    """
+    chosen: list[RelevantVariable] = []
+    position = 0
+    n = len(candidate_array)
+    while position < n:
+        row = candidate_array.row(position)
+        pair = next((rv for rv in row if rv.rank == 2), None)
+        if pair is not None:
+            chosen.append(pair)
+            position += 1
+            # The next edge is covered by this pair; only take another pair
+            # starting there if it extends coverage beyond the current pair.
+            continue
+        unit = next((rv for rv in row if rv.rank == 1), None)
+        if unit is None:
+            raise EstimationError(f"candidate array row {position} lacks a unit variable")
+        if not chosen or chosen[-1].end_index <= position:
+            chosen.append(unit)
+        position += 1
+    # Drop trailing elements fully covered by their predecessor (sub-path rule).
+    filtered: list[RelevantVariable] = []
+    for element in chosen:
+        if any(element.path.is_subpath_of(existing.path) for existing in filtered):
+            continue
+        filtered.append(element)
+    return Decomposition(candidate_array.query_path, tuple(filtered))

@@ -1,0 +1,179 @@
+"""The hybrid graph model ``G = (V, E, W_P)``.
+
+The hybrid graph keeps the road network together with the *path weight
+function* ``W_P``: the collection of instantiated random variables, one per
+(path, interval) pair that has at least beta qualified trajectories
+(Section 3.3).  Unit paths without enough trajectories fall back to a
+speed-limit-derived distribution, created lazily and cached.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from ..config import EstimatorParameters
+from ..exceptions import InstantiationError
+from ..histograms.univariate import Histogram1D
+from ..roadnet.graph import RoadNetwork
+from ..roadnet.path import Path
+from ..timeutil import TimeInterval, interval_of
+from .variables import SOURCE_SPEED_LIMIT, InstantiatedVariable
+
+#: Bytes per stored scalar, used for the memory-usage accounting of Figure 12.
+_BYTES_PER_SCALAR = 8
+
+
+class HybridGraph:
+    """A road network whose weights are joint distributions over paths."""
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        parameters: EstimatorParameters | None = None,
+    ) -> None:
+        self.network = network
+        self.parameters = parameters or EstimatorParameters()
+        # (path edge ids, interval index) -> variable.
+        self._variables: dict[tuple[tuple[int, ...], int], InstantiatedVariable] = {}
+        # first edge id -> variables whose path starts with that edge.
+        self._by_first_edge: dict[int, list[InstantiatedVariable]] = defaultdict(list)
+        # (edge id, interval index) -> lazily created speed-limit fallback.
+        self._fallback_cache: dict[tuple[int, int], InstantiatedVariable] = {}
+
+    # ------------------------------------------------------------------ #
+    # Population
+    # ------------------------------------------------------------------ #
+    def add_variable(self, variable: InstantiatedVariable) -> None:
+        """Register an instantiated random variable (idempotent per path/interval)."""
+        key = (variable.path.edge_ids, variable.interval.index)
+        if key in self._variables:
+            raise InstantiationError(
+                f"variable for path {variable.path!r} in interval {variable.interval!r} "
+                "already instantiated"
+            )
+        self._variables[key] = variable
+        self._by_first_edge[variable.path.edge_ids[0]].append(variable)
+
+    # ------------------------------------------------------------------ #
+    # The path weight function W_P
+    # ------------------------------------------------------------------ #
+    def weight(self, path: Path, departure_time_s: float) -> InstantiatedVariable | None:
+        """``W_P(P, t)``: the variable for ``path`` in the interval containing ``t``.
+
+        Returns ``None`` when no variable was instantiated from trajectories
+        for that path and interval (the "unlucky but common" case that the
+        decomposition machinery handles).
+        """
+        interval = interval_of(departure_time_s, self.parameters.alpha_minutes)
+        return self._variables.get((path.edge_ids, interval.index))
+
+    def variable_for(self, path: Path, interval_index: int) -> InstantiatedVariable | None:
+        """The variable for ``path`` during the interval with the given index."""
+        return self._variables.get((path.edge_ids, interval_index))
+
+    def variables_for_path(self, path: Path) -> list[InstantiatedVariable]:
+        """All instantiated variables for ``path``, across intervals."""
+        return [
+            variable
+            for (edge_ids, _), variable in self._variables.items()
+            if edge_ids == path.edge_ids
+        ]
+
+    def variables_starting_with(self, edge_id: int) -> list[InstantiatedVariable]:
+        """All variables whose path starts with ``edge_id``."""
+        return list(self._by_first_edge.get(edge_id, []))
+
+    def unit_variable(self, edge_id: int, interval: TimeInterval) -> InstantiatedVariable:
+        """The unit-path variable for an edge and interval, with speed-limit fallback.
+
+        If no trajectory-based variable exists for the edge during the
+        interval, a fallback distribution derived from the edge's speed
+        limit is created (and cached): the traversal time is assumed
+        uniform between the free-flow time and a conservative congested
+        time.  Both cases are treated as ground truth for unit paths
+        (Section 3.1).
+        """
+        variable = self._variables.get(((edge_id,), interval.index))
+        if variable is not None:
+            return variable
+        cached = self._fallback_cache.get((edge_id, interval.index))
+        if cached is not None:
+            return cached
+        edge = self.network.edge(edge_id)
+        free_flow = edge.free_flow_time_s
+        fallback_distribution = Histogram1D.uniform(free_flow, free_flow * 2.5 + 10.0)
+        fallback = InstantiatedVariable(
+            path=Path([edge_id]),
+            interval=interval,
+            distribution=fallback_distribution,
+            support=0,
+            source=SOURCE_SPEED_LIMIT,
+        )
+        self._fallback_cache[(edge_id, interval.index)] = fallback
+        return fallback
+
+    # ------------------------------------------------------------------ #
+    # Statistics (used by the Figure 8-12 experiments)
+    # ------------------------------------------------------------------ #
+    @property
+    def variables(self) -> list[InstantiatedVariable]:
+        """All trajectory-instantiated variables."""
+        return list(self._variables.values())
+
+    def num_variables(self) -> int:
+        return len(self._variables)
+
+    def counts_by_rank(self, max_rank_bucket: int = 4) -> dict[str, int]:
+        """Variable counts grouped by rank: ``1``, ``2``, ..., ``>= max_rank_bucket``.
+
+        Matches the paper's grouping ``|V|=1``, ``|V|=2``, ``|V|=3``,
+        ``|V|>=4`` used in Figures 8-10.
+        """
+        counts: dict[str, int] = {str(rank): 0 for rank in range(1, max_rank_bucket)}
+        counts[f">={max_rank_bucket}"] = 0
+        for variable in self._variables.values():
+            if variable.rank >= max_rank_bucket:
+                counts[f">={max_rank_bucket}"] += 1
+            else:
+                counts[str(variable.rank)] += 1
+        return counts
+
+    def mean_entropy_by_rank(self, max_rank_bucket: int = 4) -> dict[str, float]:
+        """Average variable entropy grouped by rank (Figure 8(b))."""
+        sums: dict[str, float] = defaultdict(float)
+        counts: dict[str, int] = defaultdict(int)
+        for variable in self._variables.values():
+            key = f">={max_rank_bucket}" if variable.rank >= max_rank_bucket else str(variable.rank)
+            sums[key] += variable.entropy()
+            counts[key] += 1
+        return {key: sums[key] / counts[key] for key in sums}
+
+    def covered_edges(self) -> set[int]:
+        """Edges covered by at least one trajectory-instantiated variable (``E'``)."""
+        covered: set[int] = set()
+        for (edge_ids, _) in self._variables:
+            covered.update(edge_ids)
+        return covered
+
+    def storage_size(self, include_fallbacks: bool = True) -> int:
+        """Total number of scalars stored by all instantiated variables."""
+        total = sum(variable.storage_size() for variable in self._variables.values())
+        if include_fallbacks:
+            total += sum(variable.storage_size() for variable in self._fallback_cache.values())
+        return total
+
+    def memory_usage_bytes(self, include_fallbacks: bool = True) -> int:
+        """Approximate memory footprint of the weight function ``W_P`` (Figure 12)."""
+        return self.storage_size(include_fallbacks) * _BYTES_PER_SCALAR
+
+    def max_rank(self) -> int:
+        """The largest rank among instantiated variables (0 when empty)."""
+        if not self._variables:
+            return 0
+        return max(variable.rank for variable in self._variables.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"HybridGraph({self.network.name!r}, variables={self.num_variables()}, "
+            f"max_rank={self.max_rank()})"
+        )

@@ -1,0 +1,188 @@
+"""Instantiating the path weight function W_P from trajectories (Section 3).
+
+The builder performs the two instantiation stages of the paper:
+
+1. **Unit paths** (Section 3.1).  For every edge and every alpha-interval
+   with at least beta qualified trajectories, the observed costs are
+   summarised into a one-dimensional histogram whose bucket count is chosen
+   automatically by f-fold cross-validation and whose bucket boundaries are
+   V-Optimal.  Edges/intervals below the threshold fall back to a
+   speed-limit-derived distribution, created lazily by the hybrid graph.
+
+2. **Non-unit paths** (Section 3.2).  Bottom-up over the path cardinality
+   ``k``: candidate paths of cardinality ``k`` are formed by combining two
+   instantiated paths of cardinality ``k - 1`` that share ``k - 2`` edges;
+   a candidate is instantiated for every interval in which at least beta
+   qualified trajectories occurred on it, as a multi-dimensional histogram
+   over the path's edges.  The procedure stops at the first level that
+   instantiates nothing (or at ``max_cardinality``).
+
+The per-dimension bucket counts of the joint histograms use a cheap
+inter-quartile-range heuristic by default (``dimension_bucket_strategy =
+"heuristic"``) because thousands of joint variables may be instantiated;
+passing ``"cv"`` uses the paper's full cross-validated selection for every
+dimension as well.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from ..config import EstimatorParameters
+from ..exceptions import InstantiationError
+from ..histograms.autobuckets import (
+    auto_bucket_count,
+    build_auto_histogram,
+    heuristic_bucket_count,
+)
+from ..histograms.multivariate import MultiHistogram
+from ..histograms.raw import RawDistribution
+from ..histograms.vopt import v_optimal_boundaries
+from ..roadnet.graph import RoadNetwork
+from ..roadnet.path import Path
+from ..timeutil import all_intervals
+from ..trajectories.matched import PathObservation
+from ..trajectories.store import TrajectoryStore
+from .hybrid_graph import HybridGraph
+from .variables import SOURCE_TRAJECTORIES, InstantiatedVariable
+
+
+class HybridGraphBuilder:
+    """Builds a :class:`HybridGraph` from a road network and a trajectory store."""
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        parameters: EstimatorParameters | None = None,
+        max_cardinality: int = 8,
+        dimension_bucket_strategy: str = "heuristic",
+        seed: int = 0,
+    ) -> None:
+        if max_cardinality < 1:
+            raise InstantiationError("max_cardinality must be >= 1")
+        if dimension_bucket_strategy not in ("heuristic", "cv"):
+            raise InstantiationError(
+                f"dimension_bucket_strategy must be 'heuristic' or 'cv', "
+                f"got {dimension_bucket_strategy!r}"
+            )
+        self.network = network
+        self.parameters = parameters or EstimatorParameters()
+        self.max_cardinality = max_cardinality
+        self.dimension_bucket_strategy = dimension_bucket_strategy
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------ #
+    def build(self, store: TrajectoryStore) -> HybridGraph:
+        """Instantiate all path weights supported by the trajectory store."""
+        graph = HybridGraph(self.network, self.parameters)
+        instantiated_previous_level = self._instantiate_unit_paths(graph, store)
+        cardinality = 2
+        effective_cap = self.max_cardinality
+        if self.parameters.max_rank is not None:
+            effective_cap = min(effective_cap, self.parameters.max_rank)
+        while cardinality <= effective_cap and instantiated_previous_level:
+            instantiated_previous_level = self._instantiate_level(
+                graph, store, cardinality, instantiated_previous_level
+            )
+            cardinality += 1
+        return graph
+
+    # ------------------------------------------------------------------ #
+    # Unit paths (Section 3.1)
+    # ------------------------------------------------------------------ #
+    def _instantiate_unit_paths(self, graph: HybridGraph, store: TrajectoryStore) -> set[tuple[int, ...]]:
+        parameters = self.parameters
+        instantiated: set[tuple[int, ...]] = set()
+        intervals = all_intervals(parameters.alpha_minutes)
+        for edge_id in sorted(store.covered_edges()):
+            path = Path([edge_id])
+            grouped = store.observations_by_interval(path, parameters.alpha_minutes)
+            for interval_index, observations in grouped.items():
+                if len(observations) < parameters.beta:
+                    continue
+                costs = [observation.total_cost for observation in observations]
+                distribution = build_auto_histogram(
+                    RawDistribution(costs), parameters, self._rng
+                )
+                graph.add_variable(
+                    InstantiatedVariable(
+                        path=path,
+                        interval=intervals[interval_index],
+                        distribution=distribution,
+                        support=len(observations),
+                        source=SOURCE_TRAJECTORIES,
+                    )
+                )
+                instantiated.add(path.edge_ids)
+        return instantiated
+
+    # ------------------------------------------------------------------ #
+    # Non-unit paths (Section 3.2)
+    # ------------------------------------------------------------------ #
+    def _instantiate_level(
+        self,
+        graph: HybridGraph,
+        store: TrajectoryStore,
+        cardinality: int,
+        previous_level: set[tuple[int, ...]],
+    ) -> set[tuple[int, ...]]:
+        parameters = self.parameters
+        intervals = all_intervals(parameters.alpha_minutes)
+        # Candidate paths of this cardinality with enough total support,
+        # restricted to combinations of two instantiated (k-1)-paths that
+        # share k-2 edges (the bottom-up merge of Section 3.2).
+        counts = store.frequent_subpath_counts(cardinality, min_count=parameters.beta)
+        instantiated: set[tuple[int, ...]] = set()
+        for edge_ids in counts:
+            if cardinality > 1 and not self._mergeable(edge_ids, previous_level, cardinality):
+                continue
+            path = Path(edge_ids)
+            grouped = store.observations_by_interval(path, parameters.alpha_minutes)
+            for interval_index, observations in grouped.items():
+                if len(observations) < parameters.beta:
+                    continue
+                distribution = self._build_joint_histogram(path, observations)
+                graph.add_variable(
+                    InstantiatedVariable(
+                        path=path,
+                        interval=intervals[interval_index],
+                        distribution=distribution,
+                        support=len(observations),
+                        source=SOURCE_TRAJECTORIES,
+                    )
+                )
+                instantiated.add(edge_ids)
+        return instantiated
+
+    @staticmethod
+    def _mergeable(
+        edge_ids: tuple[int, ...],
+        previous_level: set[tuple[int, ...]],
+        cardinality: int,
+    ) -> bool:
+        """True if the candidate is the merge of two instantiated (k-1)-paths."""
+        if cardinality == 2:
+            # Level-1 instantiation may have skipped an edge (speed-limit
+            # fallback); pairs only require that both edges were observed,
+            # which the support count already guarantees.
+            return True
+        prefix = edge_ids[:-1]
+        suffix = edge_ids[1:]
+        return prefix in previous_level and suffix in previous_level
+
+    def _build_joint_histogram(
+        self, path: Path, observations: list[PathObservation]
+    ) -> MultiHistogram:
+        """Build the multi-dimensional histogram of a path's joint cost distribution."""
+        samples = np.array([observation.edge_costs for observation in observations], dtype=float)
+        boundaries: list[list[float]] = []
+        for axis in range(samples.shape[1]):
+            column = RawDistribution(samples[:, axis])
+            if self.dimension_bucket_strategy == "cv":
+                n_buckets = auto_bucket_count(column, self.parameters, self._rng)
+            else:
+                n_buckets = heuristic_bucket_count(column, max_buckets=self.parameters.max_buckets)
+            boundaries.append(v_optimal_boundaries(column, n_buckets))
+        return MultiHistogram.from_samples(list(path.edge_ids), samples, boundaries)

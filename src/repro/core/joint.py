@@ -1,0 +1,352 @@
+"""Estimating a query path's joint distribution from a decomposition (Section 4.1.2).
+
+Given a decomposition ``DE = (P_1, ..., P_k)`` and the instantiated (joint)
+distributions of its paths, Equation 2 estimates the query path's joint
+distribution as the product of the element distributions divided by the
+product of the distributions of the shared (separator) paths between
+consecutive elements.
+
+Materialising the full joint over a long query path would require a
+hyper-bucket grid that grows exponentially with the path cardinality, so we
+exploit the chain structure of decompositions (elements ordered along the
+path, every separator shared only with the immediately preceding element):
+the distribution of the *accumulated* cost is propagated left to right
+together with the joint distribution over the current separator's edges.
+This is the exact junction-tree elimination of the decomposable model of
+Equation 2 under the uniform-within-bucket histogram semantics, with one
+engineering addition: the accumulated-cost dimension is periodically
+re-bucketed (the same rearrangement used in Section 4.2) so the cell count
+stays bounded.  The state is held in ``numpy`` arrays so long corridors
+with many overlapping high-rank variables stay fast.
+
+The propagation corresponds to the paper's "JC" (joint computation) step in
+the Figure 17 run-time breakdown; the final collapse into a one-dimensional
+cost histogram lives in :mod:`repro.core.marginal` ("MC").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import EstimationError
+from ..histograms.multivariate import MultiHistogram
+from ..histograms.univariate import Bucket, Histogram1D, rearrange_buckets
+from .decomposition import Decomposition
+
+#: Minimum width used when an accumulated-cost range is still degenerate.
+_MIN_WIDTH = 1e-9
+
+#: Cells with probability below this (after each step) are pruned.
+_PRUNE_THRESHOLD = 1e-9
+
+
+@dataclass
+class _State:
+    """Vectorised propagation state.
+
+    ``agg_low`` / ``agg_high`` bound the accumulated cost of all edges whose
+    cost has already been "released"; ``sep_low`` / ``sep_high`` hold the
+    bucket bounds of each current-separator edge (columns aligned with
+    ``sep_ids``); ``prob`` is the per-cell probability.
+    """
+
+    agg_low: np.ndarray
+    agg_high: np.ndarray
+    sep_low: np.ndarray
+    sep_high: np.ndarray
+    prob: np.ndarray
+    sep_ids: tuple[int, ...]
+
+    @property
+    def n_cells(self) -> int:
+        return int(self.prob.shape[0])
+
+
+@dataclass(frozen=True)
+class PropagatedJoint:
+    """The result of propagating Equation 2 along a decomposition."""
+
+    decomposition: Decomposition
+    weighted_buckets: tuple[tuple[Bucket, float], ...]
+    entropy: float
+    n_cells_processed: int
+
+    def cost_histogram(self, max_buckets: int | None = 64) -> Histogram1D:
+        """Collapse into the path's univariate cost distribution (Section 4.2)."""
+        from .marginal import collapse_to_cost_histogram
+
+        return collapse_to_cost_histogram(list(self.weighted_buckets), max_buckets=max_buckets)
+
+
+def decomposition_entropy(decomposition: Decomposition) -> float:
+    """The entropy ``H_DE`` of the estimated joint distribution (Theorem 2).
+
+    ``H_DE = sum_i H(C_{P_i}) - sum_j H(C_{P_j ∩ P_{j+1}})`` where the
+    separator entropies are taken from the marginal of the later element's
+    joint distribution (consistent with the conditional factorisation used
+    by the propagation).
+    """
+    total = 0.0
+    for element in decomposition.elements:
+        total += element.variable.entropy()
+    for later_element, separator in zip(decomposition.elements[1:], decomposition.separators()):
+        if separator is None:
+            continue
+        joint = later_element.variable.joint()
+        total -= joint.marginal(list(separator.edge_ids)).entropy()
+    return total
+
+
+def propagate_joint(
+    decomposition: Decomposition,
+    max_aggregate_buckets: int = 24,
+    max_state_cells: int = 4096,
+) -> PropagatedJoint:
+    """Propagate Equation 2 along the decomposition and return the accumulated cost cells."""
+    if max_aggregate_buckets < 1:
+        raise EstimationError("max_aggregate_buckets must be >= 1")
+    elements = decomposition.elements
+    separators = decomposition.separators()
+    n_elements = len(elements)
+    n_cells_processed = 0
+
+    state = _initial_state(elements[0].variable.joint(), _separator_ids(separators, 0, n_elements))
+    n_cells_processed += state.n_cells
+    state = _consolidate(state, max_aggregate_buckets, max_state_cells)
+
+    for index in range(1, n_elements):
+        factor = elements[index].variable.joint()
+        sep_next_ids = _separator_ids(separators, index, n_elements)
+        state = _propagate_step(state, factor, sep_next_ids)
+        n_cells_processed += state.n_cells
+        state = _consolidate(state, max_aggregate_buckets, max_state_cells)
+
+    highs = np.maximum(state.agg_high, state.agg_low + _MIN_WIDTH)
+    weighted = tuple(
+        (Bucket(float(low), float(high)), float(prob))
+        for low, high, prob in zip(state.agg_low, highs, state.prob)
+        if prob > 0.0
+    )
+    if not weighted:
+        raise EstimationError("joint propagation produced no probability mass")
+    return PropagatedJoint(
+        decomposition=decomposition,
+        weighted_buckets=weighted,
+        entropy=decomposition_entropy(decomposition),
+        n_cells_processed=n_cells_processed,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Internals
+# ---------------------------------------------------------------------- #
+def _separator_ids(separators, index: int, n_elements: int) -> tuple[int, ...]:
+    """Edge ids of the separator after element ``index`` (empty for the last element)."""
+    if index >= n_elements - 1:
+        return ()
+    separator = separators[index]
+    return separator.edge_ids if separator is not None else ()
+
+
+def _cell_bounds(joint: MultiHistogram, dims: list[int]) -> tuple[np.ndarray, np.ndarray]:
+    """Per-cell bucket lower/upper bounds of the given dims, shape (n_cells, len(dims))."""
+    n_cells = joint.n_hyper_buckets()
+    lows = np.zeros((n_cells, len(dims)))
+    highs = np.zeros((n_cells, len(dims)))
+    indices = joint.cell_indices
+    for column, dim in enumerate(dims):
+        axis = joint.axis_of(dim)
+        edges = np.asarray(joint.boundaries_of(dim))
+        lows[:, column] = edges[indices[:, axis]]
+        highs[:, column] = edges[indices[:, axis] + 1]
+    return lows, highs
+
+
+def _initial_state(joint: MultiHistogram, sep_ids: tuple[int, ...]) -> _State:
+    """Turn the first element's joint histogram into the propagation state."""
+    released_dims = [dim for dim in joint.dims if dim not in sep_ids]
+    release_low, release_high = _cell_bounds(joint, released_dims)
+    sep_low, sep_high = _cell_bounds(joint, list(sep_ids))
+    return _State(
+        agg_low=release_low.sum(axis=1),
+        agg_high=release_high.sum(axis=1),
+        sep_low=sep_low,
+        sep_high=sep_high,
+        prob=np.asarray(joint.cell_probabilities, dtype=float).copy(),
+        sep_ids=sep_ids,
+    )
+
+
+def _propagate_step(
+    state: _State,
+    factor: MultiHistogram,
+    sep_next_ids: tuple[int, ...],
+) -> _State:
+    """Absorb one more decomposition element into the propagation state."""
+    sep_prev_ids = state.sep_ids
+    sep_prev_set = set(sep_prev_ids)
+    sep_next_set = set(sep_next_ids)
+
+    factor_prob = np.asarray(factor.cell_probabilities, dtype=float)
+    n_factor_cells = factor_prob.shape[0]
+
+    # Group the factor's cells by their bucket indices on the previous
+    # separator's dimensions; the group masses are the denominators of Eq. 2.
+    if sep_prev_ids:
+        prev_axes = [factor.axis_of(dim) for dim in sep_prev_ids]
+        prev_index_matrix = np.asarray(factor.cell_indices)[:, prev_axes]
+        group_keys, group_id = np.unique(prev_index_matrix, axis=0, return_inverse=True)
+        n_groups = group_keys.shape[0]
+        group_mass = np.zeros(n_groups)
+        np.add.at(group_mass, group_id, factor_prob)
+    else:
+        group_keys = np.zeros((1, 0), dtype=int)
+        group_id = np.zeros(n_factor_cells, dtype=int)
+        group_mass = np.array([1.0])
+        n_groups = 1
+
+    conditional = factor_prob / group_mass[group_id]
+
+    # Overlap weights between the state's separator buckets and the factor's
+    # separator bucket groups: shape (n_state, n_groups).
+    n_state = state.n_cells
+    if sep_prev_ids:
+        weights = np.ones((n_state, n_groups))
+        for column, dim in enumerate(sep_prev_ids):
+            edges = np.asarray(factor.boundaries_of(dim))
+            group_low = edges[group_keys[:, column]]
+            group_high = edges[group_keys[:, column] + 1]
+            state_low = state.sep_low[:, column][:, None]
+            state_high = state.sep_high[:, column][:, None]
+            overlap = np.clip(
+                np.minimum(state_high, group_high[None, :]) - np.maximum(state_low, group_low[None, :]),
+                0.0,
+                None,
+            )
+            widths = np.maximum(state_high - state_low, _MIN_WIDTH)
+            weights *= overlap / widths
+        row_totals = weights.sum(axis=1, keepdims=True)
+        fallback = (group_mass / group_mass.sum())[None, :]
+        weights = np.where(row_totals > 0.0, weights / np.maximum(row_totals, _MIN_WIDTH), fallback)
+    else:
+        weights = np.ones((n_state, 1))
+
+    # Probability of each (state cell, factor cell) combination.
+    combined_prob = (state.prob[:, None] * weights[:, group_id]) * conditional[None, :]
+
+    # Accumulated-cost contributions.
+    state_keep_mask = np.array([dim in sep_next_set for dim in sep_prev_ids], dtype=bool)
+    if sep_prev_ids:
+        state_release_low = state.agg_low + (state.sep_low[:, ~state_keep_mask]).sum(axis=1)
+        state_release_high = state.agg_high + (state.sep_high[:, ~state_keep_mask]).sum(axis=1)
+    else:
+        state_release_low = state.agg_low
+        state_release_high = state.agg_high
+
+    factor_new_dims = [dim for dim in factor.dims if dim not in sep_prev_set]
+    factor_release_dims = [dim for dim in factor_new_dims if dim not in sep_next_set]
+    release_low, release_high = _cell_bounds(factor, factor_release_dims)
+    factor_release_low = release_low.sum(axis=1)
+    factor_release_high = release_high.sum(axis=1)
+
+    next_sep_low, next_sep_high = _cell_bounds(factor, list(sep_next_ids))
+
+    new_agg_low = (state_release_low[:, None] + factor_release_low[None, :]).reshape(-1)
+    new_agg_high = (state_release_high[:, None] + factor_release_high[None, :]).reshape(-1)
+    new_prob = combined_prob.reshape(-1)
+    new_sep_low = np.tile(next_sep_low, (n_state, 1))
+    new_sep_high = np.tile(next_sep_high, (n_state, 1))
+
+    keep = new_prob > _PRUNE_THRESHOLD
+    if not np.any(keep):
+        keep = new_prob > 0.0
+    if not np.any(keep):
+        raise EstimationError("joint propagation lost all probability mass")
+    new_prob = new_prob[keep]
+    new_prob = new_prob / new_prob.sum()
+    return _State(
+        agg_low=new_agg_low[keep],
+        agg_high=new_agg_high[keep],
+        sep_low=new_sep_low[keep],
+        sep_high=new_sep_high[keep],
+        prob=new_prob,
+        sep_ids=sep_next_ids,
+    )
+
+
+def _consolidate(state: _State, max_aggregate_buckets: int, max_state_cells: int) -> _State:
+    """Bound the state size by re-bucketing the accumulated-cost dimension.
+
+    Cells are grouped by their separator bucket combination; within each
+    group, the accumulated-cost ranges are rearranged into a disjoint
+    histogram and coarsened to at most ``max_aggregate_buckets`` buckets.
+    If the state is still too large afterwards, the lowest-probability cells
+    are pruned (and the remainder renormalised).
+    """
+    n_sep = state.sep_low.shape[1] if state.sep_low.ndim == 2 else 0
+    if n_sep == 0:
+        group_labels = np.zeros(state.n_cells, dtype=int)
+        n_groups = 1
+    else:
+        combined = np.concatenate([state.sep_low, state.sep_high], axis=1)
+        _, group_labels = np.unique(np.round(combined, 9), axis=0, return_inverse=True)
+        n_groups = int(group_labels.max()) + 1
+
+    agg_lows: list[np.ndarray] = []
+    agg_highs: list[np.ndarray] = []
+    sep_lows: list[np.ndarray] = []
+    sep_highs: list[np.ndarray] = []
+    probs: list[np.ndarray] = []
+    for group in range(n_groups):
+        mask = group_labels == group
+        count = int(mask.sum())
+        if count == 0:
+            continue
+        group_prob = float(state.prob[mask].sum())
+        if group_prob <= 0.0:
+            continue
+        if count <= max_aggregate_buckets:
+            agg_lows.append(state.agg_low[mask])
+            agg_highs.append(state.agg_high[mask])
+            sep_lows.append(state.sep_low[mask])
+            sep_highs.append(state.sep_high[mask])
+            probs.append(state.prob[mask])
+            continue
+        weighted = [
+            (Bucket(float(low), float(max(high, low + _MIN_WIDTH))), float(prob))
+            for low, high, prob in zip(state.agg_low[mask], state.agg_high[mask], state.prob[mask])
+        ]
+        histogram = rearrange_buckets(weighted).coarsen(max_aggregate_buckets)
+        n_new = histogram.n_buckets
+        agg_lows.append(np.array([bucket.lower for bucket in histogram.buckets]))
+        agg_highs.append(np.array([bucket.upper for bucket in histogram.buckets]))
+        first_index = int(np.argmax(mask))
+        sep_lows.append(np.tile(state.sep_low[first_index], (n_new, 1)))
+        sep_highs.append(np.tile(state.sep_high[first_index], (n_new, 1)))
+        probs.append(np.asarray(histogram.probabilities) * group_prob)
+
+    new_state = _State(
+        agg_low=np.concatenate(agg_lows),
+        agg_high=np.concatenate(agg_highs),
+        sep_low=np.concatenate(sep_lows) if sep_lows else np.zeros((0, n_sep)),
+        sep_high=np.concatenate(sep_highs) if sep_highs else np.zeros((0, n_sep)),
+        prob=np.concatenate(probs),
+        sep_ids=state.sep_ids,
+    )
+    if new_state.n_cells > max_state_cells:
+        order = np.argsort(new_state.prob)[::-1][:max_state_cells]
+        new_state = _State(
+            agg_low=new_state.agg_low[order],
+            agg_high=new_state.agg_high[order],
+            sep_low=new_state.sep_low[order],
+            sep_high=new_state.sep_high[order],
+            prob=new_state.prob[order],
+            sep_ids=new_state.sep_ids,
+        )
+    total = new_state.prob.sum()
+    if total <= 0.0:
+        raise EstimationError("joint propagation lost all probability mass")
+    new_state.prob = new_state.prob / total
+    return new_state

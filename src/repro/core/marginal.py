@@ -1,0 +1,37 @@
+"""Deriving the univariate path cost distribution (Section 4.2, the "MC" step).
+
+The joint estimation step produces a collection of possibly-overlapping
+(cost-range, probability) pairs -- either the summed bounds of the
+hyper-buckets of a joint histogram, or the accumulated-cost cells produced
+by the chain propagation.  This module rearranges them into a disjoint
+one-dimensional histogram: the real line is split at every bucket boundary
+and each original bucket contributes to a refined bucket proportionally to
+the overlap width (uniform mass within a bucket), exactly as in the paper's
+worked example (Figure 7).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..exceptions import EstimationError
+from ..histograms.multivariate import MultiHistogram
+from ..histograms.univariate import Bucket, Histogram1D, rearrange_buckets
+
+
+def collapse_to_cost_histogram(
+    weighted_buckets: Sequence[tuple[Bucket, float]],
+    max_buckets: int | None = 64,
+) -> Histogram1D:
+    """Rearrange weighted, possibly-overlapping cost buckets into a histogram."""
+    if not weighted_buckets:
+        raise EstimationError("cannot build a cost distribution from no buckets")
+    histogram = rearrange_buckets(weighted_buckets)
+    if max_buckets is not None and histogram.n_buckets > max_buckets:
+        histogram = histogram.coarsen(max_buckets)
+    return histogram
+
+
+def joint_to_cost_histogram(joint: MultiHistogram, max_buckets: int | None = 64) -> Histogram1D:
+    """Convenience wrapper: the cost distribution of a materialised joint histogram."""
+    return joint.cost_distribution(max_buckets=max_buckets)

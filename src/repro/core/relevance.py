@@ -1,0 +1,202 @@
+"""Spatial and temporal relevance of instantiated variables (Section 4.1.3).
+
+Given a query path and a departure time, only some instantiated random
+variables can participate in a decomposition:
+
+* a variable is **spatially relevant** when its path is a sub-path of the
+  query path;
+* a variable is **temporally relevant** when its interval intersects the
+  query's *updated departure interval* on the variable's path, obtained by
+  progressively applying the shift-and-enlarge (SAE) operation along the
+  preceding edges (Equation 3).
+
+Relevant variables are organised into the two-dimensional *candidate
+array*: one row per edge of the query path, holding the relevant variables
+whose paths start at that edge, ordered by rank.  Every row always contains
+at least the unit-path variable for its edge (falling back to the
+speed-limit distribution), so a decomposition that covers the query path
+always exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import EstimatorParameters
+from ..exceptions import EstimationError
+from ..roadnet.path import Path
+from ..timeutil import interval_of
+from .hybrid_graph import HybridGraph
+from .variables import InstantiatedVariable
+
+
+@dataclass(frozen=True)
+class RelevantVariable:
+    """An instantiated variable aligned with a position of the query path."""
+
+    variable: InstantiatedVariable
+    start_index: int
+
+    @property
+    def rank(self) -> int:
+        return self.variable.rank
+
+    @property
+    def path(self) -> Path:
+        return self.variable.path
+
+    @property
+    def end_index(self) -> int:
+        """Index one past the last query-path edge covered by the variable."""
+        return self.start_index + self.rank
+
+
+def shift_and_enlarge(
+    interval: tuple[float, float], unit_variable: InstantiatedVariable
+) -> tuple[float, float]:
+    """The SAE operation: shift a departure interval across one edge.
+
+    ``SAE([ts, te], V_e) = [ts + V_e.min, te + V_e.max]`` where ``V_e.min``
+    and ``V_e.max`` are the minimum and maximum travel times recorded in the
+    unit-path variable of the edge.
+    """
+    start, end = interval
+    if end < start:
+        raise EstimationError(f"invalid departure interval [{start}, {end}]")
+    return start + unit_variable.min_cost, end + unit_variable.max_cost
+
+
+def updated_departure_interval(
+    hybrid_graph: HybridGraph,
+    query_path: Path,
+    departure_time_s: float,
+    edge_position: int,
+) -> tuple[float, float]:
+    """The updated departure interval ``UI_k`` on the query path (Equation 3).
+
+    ``edge_position`` is the zero-based index of the edge within the query
+    path; position 0 returns the degenerate interval ``[t, t]``.
+    """
+    if not 0 <= edge_position < len(query_path):
+        raise EstimationError(
+            f"edge position {edge_position} out of range for path of length {len(query_path)}"
+        )
+    alpha = hybrid_graph.parameters.alpha_minutes
+    interval = (float(departure_time_s), float(departure_time_s))
+    for position in range(edge_position):
+        edge_id = query_path.edge_ids[position]
+        midpoint = (interval[0] + interval[1]) / 2.0
+        unit = hybrid_graph.unit_variable(edge_id, interval_of(midpoint, alpha))
+        interval = shift_and_enlarge(interval, unit)
+    return interval
+
+
+class CandidateArray:
+    """The two-dimensional array of spatio-temporally relevant variables (Table 1)."""
+
+    def __init__(self, query_path: Path, departure_time_s: float, rows: list[list[RelevantVariable]]):
+        if len(rows) != len(query_path):
+            raise EstimationError("the candidate array needs one row per query-path edge")
+        for index, row in enumerate(rows):
+            if not row:
+                raise EstimationError(f"candidate array row {index} is empty")
+        self.query_path = query_path
+        self.departure_time_s = departure_time_s
+        self._rows = [sorted(row, key=lambda rv: rv.rank) for row in rows]
+
+    def row(self, position: int) -> list[RelevantVariable]:
+        """Relevant variables whose path starts at the given query-path position."""
+        return list(self._rows[position])
+
+    def highest_rank(self, position: int) -> RelevantVariable:
+        """The highest-rank relevant variable starting at the given position."""
+        return self._rows[position][-1]
+
+    def random_choice(self, position: int, rng: np.random.Generator) -> RelevantVariable:
+        """A uniformly random relevant variable starting at the given position."""
+        row = self._rows[position]
+        return row[int(rng.integers(0, len(row)))]
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def total_variables(self) -> int:
+        return sum(len(row) for row in self._rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        ranks = [row[-1].rank for row in self._rows]
+        return f"CandidateArray(|P|={len(self._rows)}, max ranks per row={ranks})"
+
+
+def build_candidate_array(
+    hybrid_graph: HybridGraph,
+    query_path: Path,
+    departure_time_s: float,
+    max_rank: int | None = None,
+) -> CandidateArray:
+    """Identify the spatio-temporally relevant variables for a query (Section 4.1.3).
+
+    ``max_rank`` caps the rank of the variables that are considered, which
+    yields the paper's OD-2/OD-3/OD-4 variants; ``None`` imposes no cap
+    (plain OD).
+    """
+    parameters: EstimatorParameters = hybrid_graph.parameters
+    alpha = parameters.alpha_minutes
+    query_ids = query_path.edge_ids
+    n = len(query_ids)
+
+    rows: list[list[RelevantVariable]] = []
+    departure_interval = (float(departure_time_s), float(departure_time_s))
+    for position in range(n):
+        edge_id = query_ids[position]
+        remaining = n - position
+
+        # Spatial relevance: variables whose path starts here and matches the
+        # query path's continuation.
+        spatially_relevant: dict[tuple[int, ...], list[InstantiatedVariable]] = {}
+        for variable in hybrid_graph.variables_starting_with(edge_id):
+            rank = variable.rank
+            if rank > remaining:
+                continue
+            if max_rank is not None and rank > max_rank:
+                continue
+            if variable.path.edge_ids != query_ids[position : position + rank]:
+                continue
+            spatially_relevant.setdefault(variable.path.edge_ids, []).append(variable)
+
+        # Temporal relevance: the variable's interval must intersect the
+        # updated departure interval at this position; among multiple
+        # intervals for the same path, keep the one with the largest overlap.
+        row: list[RelevantVariable] = []
+        interval_start, interval_end = departure_interval
+        for edge_ids, variables in spatially_relevant.items():
+            best: InstantiatedVariable | None = None
+            best_overlap = 0.0
+            for variable in variables:
+                overlap = variable.interval.overlap_s(interval_start, interval_end)
+                if interval_end == interval_start:
+                    # Degenerate interval (the first edge): containment decides.
+                    overlap = 1.0 if variable.interval.contains(interval_start) else 0.0
+                if overlap > best_overlap:
+                    best_overlap = overlap
+                    best = variable
+            if best is not None:
+                row.append(RelevantVariable(best, position))
+
+        # Guarantee a unit variable for this edge so a covering decomposition
+        # always exists (speed-limit fallback when necessary).
+        if not any(rv.rank == 1 for rv in row):
+            midpoint = (interval_start + interval_end) / 2.0
+            unit = hybrid_graph.unit_variable(edge_id, interval_of(midpoint, alpha))
+            row.append(RelevantVariable(unit, position))
+
+        rows.append(row)
+
+        # Advance the departure interval across this edge for the next row.
+        midpoint = (interval_start + interval_end) / 2.0
+        unit_for_shift = hybrid_graph.unit_variable(edge_id, interval_of(midpoint, alpha))
+        departure_interval = shift_and_enlarge(departure_interval, unit_for_shift)
+
+    return CandidateArray(query_path, departure_time_s, rows)

@@ -1,0 +1,114 @@
+"""Instantiated random variables: the values of the path weight function W_P.
+
+An instantiated random variable ``V_P^{I_j}`` describes the (joint) travel
+cost distribution of path ``P`` during time interval ``I_j`` (Section 3.3).
+Its *rank* is the cardinality of its path.  Rank-one variables are stored
+as one-dimensional histograms; higher-rank variables are stored as
+multi-dimensional histograms whose dimensions correspond to the path's
+edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..exceptions import InstantiationError
+from ..histograms.multivariate import MultiHistogram
+from ..histograms.univariate import Histogram1D
+from ..roadnet.path import Path
+from ..timeutil import TimeInterval
+
+#: Variable was learnt from at least beta qualified trajectories.
+SOURCE_TRAJECTORIES = "trajectories"
+#: Fallback variable derived from the edge's speed limit (unit paths only).
+SOURCE_SPEED_LIMIT = "speed_limit"
+
+
+@dataclass(frozen=True)
+class InstantiatedVariable:
+    """One instantiated random variable ``V_P^{I_j}`` of the hybrid graph."""
+
+    path: Path
+    interval: TimeInterval
+    distribution: Histogram1D | MultiHistogram
+    support: int
+    source: str = SOURCE_TRAJECTORIES
+
+    def __post_init__(self) -> None:
+        if isinstance(self.distribution, Histogram1D):
+            if len(self.path) != 1:
+                raise InstantiationError(
+                    "one-dimensional distributions are only valid for unit paths"
+                )
+        elif isinstance(self.distribution, MultiHistogram):
+            if tuple(self.distribution.dims) != self.path.edge_ids:
+                raise InstantiationError(
+                    f"joint distribution dimensions {self.distribution.dims} do not match "
+                    f"path edges {self.path.edge_ids}"
+                )
+        else:
+            raise InstantiationError(
+                f"unsupported distribution type {type(self.distribution).__name__}"
+            )
+        if self.support < 0:
+            raise InstantiationError("support must be non-negative")
+        if self.source not in (SOURCE_TRAJECTORIES, SOURCE_SPEED_LIMIT):
+            raise InstantiationError(f"unknown variable source {self.source!r}")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def rank(self) -> int:
+        """The paper's rank: the cardinality of the variable's path."""
+        return len(self.path)
+
+    @property
+    def is_unit(self) -> bool:
+        return self.rank == 1
+
+    def joint(self) -> MultiHistogram:
+        """The joint distribution as a multi-dimensional histogram (any rank)."""
+        if isinstance(self.distribution, MultiHistogram):
+            return self.distribution
+        return MultiHistogram.from_univariate(self.path.edge_ids[0], self.distribution)
+
+    def cost_distribution(self, max_buckets: int | None = 64) -> Histogram1D:
+        """The distribution of the total cost of traversing the variable's path."""
+        if isinstance(self.distribution, Histogram1D):
+            return self.distribution
+        return self.distribution.cost_distribution(max_buckets=max_buckets)
+
+    @property
+    def min_cost(self) -> float:
+        """Smallest possible total cost (used by shift-and-enlarge)."""
+        if isinstance(self.distribution, Histogram1D):
+            return self.distribution.min
+        return sum(
+            float(self.distribution.boundaries_of(dim)[0]) for dim in self.distribution.dims
+        )
+
+    @property
+    def max_cost(self) -> float:
+        """Largest possible total cost (used by shift-and-enlarge)."""
+        if isinstance(self.distribution, Histogram1D):
+            return self.distribution.max
+        return sum(
+            float(self.distribution.boundaries_of(dim)[-1]) for dim in self.distribution.dims
+        )
+
+    def entropy(self) -> float:
+        """Differential entropy of the variable's (joint) distribution."""
+        if isinstance(self.distribution, Histogram1D):
+            from ..histograms.divergence import entropy_of_histogram
+
+            return entropy_of_histogram(self.distribution)
+        return self.distribution.entropy()
+
+    def storage_size(self) -> int:
+        """Number of scalars needed to store the variable's distribution."""
+        return self.distribution.storage_size()
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"InstantiatedVariable({self.path!r}, {self.interval!r}, rank={self.rank}, "
+            f"support={self.support}, source={self.source})"
+        )

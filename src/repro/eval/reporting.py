@@ -1,0 +1,64 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints the same rows/series the paper's figures plot;
+these helpers format them as aligned text tables so the output of
+``pytest benchmarks/ --benchmark-only`` doubles as the reproduction report.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def render_table(
+    title: str,
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    float_format: str = "{:.4g}",
+) -> str:
+    """Render a list of row dictionaries as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    header = [str(column) for column in columns]
+    body = [[fmt(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(header[i]), *(len(line[i]) for line in body)) if body else len(header[i])
+        for i in range(len(header))
+    ]
+    lines = [title]
+    lines.append("  ".join(header[i].ljust(widths[i]) for i in range(len(header))))
+    lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+    for line in body:
+        lines.append("  ".join(line[i].ljust(widths[i]) for i in range(len(header))))
+    return "\n".join(lines)
+
+
+def render_series(
+    title: str,
+    series: Mapping[str, Sequence[tuple[object, float]]],
+    x_label: str = "x",
+    float_format: str = "{:.4g}",
+) -> str:
+    """Render one or more (x, y) series as a table with one column per series."""
+    xs: list[object] = []
+    for points in series.values():
+        for x, _ in points:
+            if x not in xs:
+                xs.append(x)
+    rows = []
+    for x in xs:
+        row: dict[str, object] = {x_label: x}
+        for name, points in series.items():
+            lookup = {px: py for px, py in points}
+            if x in lookup:
+                row[name] = lookup[x]
+        rows.append(row)
+    return render_table(title, rows, [x_label, *series.keys()], float_format)

@@ -1,0 +1,35 @@
+"""Figure 3: the data sparseness analysis.
+
+For each path cardinality, the maximum number of trajectories that occurred
+on any path of that cardinality is reported (no time constraint).  The
+paper's point is that this number drops rapidly with the cardinality, so
+the accuracy-optimal baseline is inapplicable for long paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .datasets import ExperimentDataset
+
+
+@dataclass(frozen=True)
+class SparsenessResult:
+    """Maximum trajectory count per path cardinality for one dataset."""
+
+    dataset_name: str
+    max_count_by_cardinality: dict[int, int]
+
+    def series(self) -> list[tuple[int, int]]:
+        return sorted(self.max_count_by_cardinality.items())
+
+    def is_decreasing_overall(self) -> bool:
+        """True when the count at the largest cardinality is below the count at 1."""
+        series = self.series()
+        return series[-1][1] <= series[0][1]
+
+
+def fig03_sparseness(dataset: ExperimentDataset, max_cardinality: int = 25) -> SparsenessResult:
+    """Reproduce Figure 3 for one dataset."""
+    counts = dataset.store.max_trajectories_by_cardinality(max_cardinality)
+    return SparsenessResult(dataset.name, counts)

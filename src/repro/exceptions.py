@@ -1,0 +1,48 @@
+"""Library-wide exception hierarchy.
+
+All exceptions raised by :mod:`repro` derive from :class:`ReproError`
+so that callers can catch library failures with a single ``except`` clause
+while still being able to distinguish specific failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class GraphError(ReproError):
+    """Raised for invalid road-network construction or lookups."""
+
+
+class PathError(ReproError):
+    """Raised for invalid path construction or path-algebra operations."""
+
+
+class TrajectoryError(ReproError):
+    """Raised for malformed trajectories or GPS records."""
+
+
+class MapMatchingError(TrajectoryError):
+    """Raised when a trajectory cannot be matched to the road network."""
+
+
+class HistogramError(ReproError):
+    """Raised for invalid histogram construction or operations."""
+
+
+class InstantiationError(ReproError):
+    """Raised when path-weight instantiation receives inconsistent input."""
+
+
+class EstimationError(ReproError):
+    """Raised when a path cost distribution cannot be estimated."""
+
+
+class RoutingError(ReproError):
+    """Raised by the stochastic routing algorithms."""
+
+
+class ConfigurationError(ReproError):
+    """Raised for invalid parameter values in configuration objects."""

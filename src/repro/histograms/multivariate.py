@@ -1,0 +1,381 @@
+"""Multi-dimensional histograms representing joint cost distributions.
+
+A multi-dimensional histogram is a set of ``(hyper-bucket, probability)``
+pairs (Section 3.2).  A hyper-bucket is the Cartesian product of one bucket
+per dimension, where each dimension corresponds to the travel cost of one
+edge of the path.
+
+Storage is *sparse*: only hyper-buckets with positive probability are kept
+(as per-dimension bucket indices plus a probability).  With at least
+``beta`` qualified trajectories behind every instantiated variable, the
+number of occupied hyper-buckets is bounded by the number of trajectories,
+so joint distributions over long paths (high rank) stay small even though
+the full bucket grid would be astronomically large.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..exceptions import HistogramError
+from .univariate import Bucket, Histogram1D, rearrange_buckets
+
+#: Hard cap used when a caller asks for the dense probability tensor.
+_DENSE_CELL_LIMIT = 2_000_000
+
+
+@dataclass(frozen=True)
+class HyperBucket:
+    """One cell of a multi-dimensional histogram: one bucket per dimension."""
+
+    buckets: tuple[Bucket, ...]
+
+    @property
+    def n_dims(self) -> int:
+        return len(self.buckets)
+
+    @property
+    def summed_bounds(self) -> Bucket:
+        """The 1-D bucket whose bounds are the sums of the per-dimension bounds."""
+        lower = sum(bucket.lower for bucket in self.buckets)
+        upper = sum(bucket.upper for bucket in self.buckets)
+        return Bucket(lower, upper)
+
+    @property
+    def volume(self) -> float:
+        volume = 1.0
+        for bucket in self.buckets:
+            volume *= bucket.width
+        return volume
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "<" + ", ".join(repr(bucket) for bucket in self.buckets) + ">"
+
+
+class MultiHistogram:
+    """Joint cost distribution of a path's edges, stored sparsely."""
+
+    __slots__ = ("_dims", "_boundaries", "_indices", "_probs")
+
+    def __init__(
+        self,
+        dims: Sequence[int],
+        boundaries: Sequence[Sequence[float]],
+        cell_indices: np.ndarray,
+        cell_probabilities: np.ndarray,
+    ) -> None:
+        if len(dims) == 0:
+            raise HistogramError("a multi-dimensional histogram needs at least one dimension")
+        if len(set(dims)) != len(dims):
+            raise HistogramError(f"dimension labels must be unique, got {dims}")
+        if len(boundaries) != len(dims):
+            raise HistogramError("need one boundary array per dimension")
+
+        cleaned: list[np.ndarray] = []
+        for dim, edges in zip(dims, boundaries):
+            array = np.asarray(edges, dtype=float)
+            if array.size < 2:
+                raise HistogramError(f"dimension {dim} needs at least two boundaries")
+            if np.any(np.diff(array) <= 0):
+                raise HistogramError(f"boundaries of dimension {dim} must be strictly increasing")
+            cleaned.append(array)
+
+        indices = np.asarray(cell_indices, dtype=np.int64)
+        probs = np.asarray(cell_probabilities, dtype=float)
+        if indices.ndim != 2 or indices.shape[1] != len(dims):
+            raise HistogramError(
+                f"cell_indices must have shape (n_cells, {len(dims)}), got {indices.shape}"
+            )
+        if probs.ndim != 1 or probs.shape[0] != indices.shape[0]:
+            raise HistogramError("cell_probabilities must align with cell_indices")
+        if indices.shape[0] == 0:
+            raise HistogramError("a multi-dimensional histogram needs at least one occupied cell")
+        for axis, edges in enumerate(cleaned):
+            if np.any(indices[:, axis] < 0) or np.any(indices[:, axis] >= edges.size - 1):
+                raise HistogramError(f"cell index out of range on axis {axis}")
+        if np.any(probs < -1e-9):
+            raise HistogramError("hyper-bucket probabilities must be non-negative")
+        probs = np.clip(probs, 0.0, None)
+        total = probs.sum()
+        if total <= 0:
+            raise HistogramError("hyper-bucket probabilities must sum to a positive value")
+        if not np.isclose(total, 1.0, atol=1e-3):
+            raise HistogramError(f"hyper-bucket probabilities must sum to 1, got {total:.6f}")
+
+        indices, probs = _deduplicate_cells(indices, probs / total)
+        keep = probs > 0
+        self._dims = tuple(int(d) for d in dims)
+        self._boundaries = tuple(cleaned)
+        self._indices = indices[keep]
+        self._probs = probs[keep]
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_samples(
+        cls,
+        dims: Sequence[int],
+        samples: np.ndarray,
+        boundaries: Sequence[Sequence[float]],
+    ) -> "MultiHistogram":
+        """Build a joint histogram from per-edge cost samples.
+
+        ``samples`` has shape ``(n_observations, n_dims)``; column ``j``
+        holds the observed cost on the edge labelled ``dims[j]``.  Values
+        outside the boundary range are clamped into the first/last bucket.
+        """
+        samples = np.asarray(samples, dtype=float)
+        if samples.ndim != 2 or samples.shape[1] != len(dims):
+            raise HistogramError(f"samples must have shape (n, {len(dims)}), got {samples.shape}")
+        if samples.shape[0] == 0:
+            raise HistogramError("need at least one sample")
+        edges_list = [np.asarray(edges, dtype=float) for edges in boundaries]
+        indices = np.empty(samples.shape, dtype=np.int64)
+        for j, edges in enumerate(edges_list):
+            column = np.clip(samples[:, j], edges[0], np.nextafter(edges[-1], -np.inf))
+            indices[:, j] = np.clip(np.searchsorted(edges, column, side="right") - 1, 0, edges.size - 2)
+        probs = np.full(samples.shape[0], 1.0 / samples.shape[0])
+        return cls(dims, edges_list, indices, probs)
+
+    @classmethod
+    def from_dense(
+        cls,
+        dims: Sequence[int],
+        boundaries: Sequence[Sequence[float]],
+        tensor: np.ndarray,
+    ) -> "MultiHistogram":
+        """Build from a dense probability tensor (small dimension counts only)."""
+        tensor = np.asarray(tensor, dtype=float)
+        nonzero = np.argwhere(tensor > 0)
+        probs = tensor[tuple(nonzero.T)]
+        return cls(dims, boundaries, nonzero, probs)
+
+    @classmethod
+    def from_univariate(cls, dim: int, histogram: Histogram1D) -> "MultiHistogram":
+        """Wrap a 1-D histogram as a single-dimension joint histogram.
+
+        Gaps between non-adjacent buckets become empty cells of the bucket
+        grid, so bucket indices always line up with the boundary array.
+        """
+        bounds = sorted(
+            {bucket.lower for bucket in histogram.buckets}
+            | {bucket.upper for bucket in histogram.buckets}
+        )
+        edges = np.asarray(bounds, dtype=float)
+        indices = []
+        probs = []
+        for bucket, prob in zip(histogram.buckets, histogram.probabilities):
+            if prob <= 0:
+                continue
+            indices.append([int(np.searchsorted(edges, bucket.lower))])
+            probs.append(float(prob))
+        return cls([dim], [edges], np.asarray(indices, dtype=np.int64), np.asarray(probs))
+
+    @classmethod
+    def independent_product(cls, marginals: Sequence[tuple[int, Histogram1D]]) -> "MultiHistogram":
+        """Joint histogram assuming independence across the given marginals.
+
+        Intended for small numbers of dimensions (tests and the HP baseline);
+        the number of occupied cells is the product of the marginals' bucket
+        counts.
+        """
+        if not marginals:
+            raise HistogramError("need at least one marginal")
+        dims = [dim for dim, _ in marginals]
+        boundaries = [histogram.boundary_values() for _, histogram in marginals]
+        probs = np.array(marginals[0][1].probabilities)
+        for _, histogram in marginals[1:]:
+            probs = np.multiply.outer(probs, np.array(histogram.probabilities))
+        if probs.size > _DENSE_CELL_LIMIT:
+            raise HistogramError("independent_product would create too many hyper-buckets")
+        return cls.from_dense(dims, boundaries, probs)
+
+    # ------------------------------------------------------------------ #
+    # Inspection
+    # ------------------------------------------------------------------ #
+    @property
+    def dims(self) -> tuple[int, ...]:
+        """The dimension labels (edge ids), in storage order."""
+        return self._dims
+
+    @property
+    def n_dims(self) -> int:
+        return len(self._dims)
+
+    @property
+    def grid_shape(self) -> tuple[int, ...]:
+        """Bucket counts per dimension (the full, mostly-empty grid)."""
+        return tuple(edges.size - 1 for edges in self._boundaries)
+
+    @property
+    def cell_indices(self) -> np.ndarray:
+        view = self._indices.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def cell_probabilities(self) -> np.ndarray:
+        view = self._probs.view()
+        view.flags.writeable = False
+        return view
+
+    def dense_probabilities(self) -> np.ndarray:
+        """The dense probability tensor (only for small grids; raises otherwise)."""
+        if int(np.prod(self.grid_shape)) > _DENSE_CELL_LIMIT:
+            raise HistogramError("grid too large to densify")
+        tensor = np.zeros(self.grid_shape)
+        tensor[tuple(self._indices.T)] = self._probs
+        return tensor
+
+    def boundaries_of(self, dim: int) -> np.ndarray:
+        """Bucket boundaries of the given dimension label."""
+        view = self._boundaries[self.axis_of(dim)].view()
+        view.flags.writeable = False
+        return view
+
+    def axis_of(self, dim: int) -> int:
+        """Storage axis of the given dimension label."""
+        try:
+            return self._dims.index(dim)
+        except ValueError:
+            raise HistogramError(f"dimension {dim} not present in {self._dims}") from None
+
+    def n_hyper_buckets(self) -> int:
+        """Number of occupied hyper-buckets."""
+        return int(self._indices.shape[0])
+
+    def bucket_of(self, dim: int, index: int) -> Bucket:
+        """The ``index``-th bucket of dimension ``dim``."""
+        edges = self._boundaries[self.axis_of(dim)]
+        if not 0 <= index < edges.size - 1:
+            raise HistogramError(f"bucket index {index} out of range for dimension {dim}")
+        return Bucket(float(edges[index]), float(edges[index + 1]))
+
+    def hyper_buckets(self) -> Iterator[tuple[HyperBucket, float]]:
+        """Iterate over occupied ``(hyper-bucket, probability)`` pairs."""
+        for row, prob in zip(self._indices, self._probs):
+            buckets = tuple(
+                Bucket(float(edges[i]), float(edges[i + 1]))
+                for edges, i in zip(self._boundaries, row)
+            )
+            yield HyperBucket(buckets), float(prob)
+
+    def storage_size(self) -> int:
+        """Scalars needed to store the histogram (boundaries + occupied cells)."""
+        n_boundaries = sum(edges.size for edges in self._boundaries)
+        return n_boundaries + (self.n_dims + 1) * self.n_hyper_buckets()
+
+    def entropy(self) -> float:
+        """Differential entropy (nats) under the uniform-within-bucket assumption."""
+        log_volumes = np.zeros(self.n_hyper_buckets())
+        for axis, edges in enumerate(self._boundaries):
+            widths = np.diff(edges)
+            log_volumes += np.log(widths[self._indices[:, axis]])
+        probs = self._probs
+        return float(-np.sum(probs * (np.log(probs) - log_volumes)))
+
+    # ------------------------------------------------------------------ #
+    # Marginalisation and conditioning
+    # ------------------------------------------------------------------ #
+    def marginal(self, dims: Sequence[int]) -> "MultiHistogram":
+        """Marginal joint histogram over a subset of dimensions."""
+        if not dims:
+            raise HistogramError("need at least one dimension to marginalise onto")
+        axes = [self.axis_of(dim) for dim in dims]
+        projected = self._indices[:, axes]
+        indices, probs = _deduplicate_cells(projected, self._probs)
+        boundaries = [self._boundaries[axis] for axis in axes]
+        return MultiHistogram(list(dims), boundaries, indices, probs)
+
+    def marginal_1d(self, dim: int) -> Histogram1D:
+        """Marginal distribution of one dimension as a 1-D histogram."""
+        axis = self.axis_of(dim)
+        edges = self._boundaries[axis]
+        probs = np.zeros(edges.size - 1)
+        np.add.at(probs, self._indices[:, axis], self._probs)
+        return Histogram1D.from_boundaries(list(edges), list(probs))
+
+    def conditional_cells(
+        self, dims: Sequence[int], bucket_indices: Sequence[int]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Occupied cells compatible with the given bucket indices of ``dims``.
+
+        Returns ``(indices, probabilities)`` over *all* dimensions with the
+        probabilities renormalised; falls back to the unconditioned cells
+        when the conditioning slice has no mass (the "no information" case).
+        """
+        if len(dims) != len(bucket_indices):
+            raise HistogramError("dims and bucket_indices must have equal length")
+        mask = np.ones(self.n_hyper_buckets(), dtype=bool)
+        for dim, index in zip(dims, bucket_indices):
+            mask &= self._indices[:, self.axis_of(dim)] == index
+        if not np.any(mask):
+            indices, probs = self._indices, self._probs
+        else:
+            indices, probs = self._indices[mask], self._probs[mask]
+        return indices, probs / probs.sum()
+
+    def bucket_index_for(self, dim: int, value: float) -> int:
+        """Index of the bucket of ``dim`` containing ``value`` (clamped to the range)."""
+        edges = self._boundaries[self.axis_of(dim)]
+        index = int(np.searchsorted(edges, value, side="right")) - 1
+        return int(np.clip(index, 0, edges.size - 2))
+
+    # ------------------------------------------------------------------ #
+    # Path-cost transformation (Section 4.2)
+    # ------------------------------------------------------------------ #
+    def cost_distribution(self, max_buckets: int | None = 64) -> Histogram1D:
+        """The univariate distribution of the summed cost over all dimensions.
+
+        Each hyper-bucket becomes a 1-D bucket whose bounds are the sums of
+        the per-dimension bounds; overlapping buckets are rearranged into a
+        disjoint histogram (Section 4.2).
+        """
+        lows = np.zeros(self.n_hyper_buckets())
+        highs = np.zeros(self.n_hyper_buckets())
+        for axis, edges in enumerate(self._boundaries):
+            lows += edges[self._indices[:, axis]]
+            highs += edges[self._indices[:, axis] + 1]
+        weighted = [
+            (Bucket(float(low), float(high)), float(prob))
+            for low, high, prob in zip(lows, highs, self._probs)
+        ]
+        result = rearrange_buckets(weighted)
+        if max_buckets is not None and result.n_buckets > max_buckets:
+            result = result.coarsen(max_buckets)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Sampling
+    # ------------------------------------------------------------------ #
+    def sample(self, rng: np.random.Generator, size: int = 1) -> np.ndarray:
+        """Draw joint cost samples; returns an array of shape ``(size, n_dims)``."""
+        if size < 1:
+            raise HistogramError(f"size must be >= 1, got {size}")
+        chosen = rng.choice(self.n_hyper_buckets(), size=size, p=self._probs)
+        samples = np.empty((size, self.n_dims))
+        for axis, edges in enumerate(self._boundaries):
+            lows = edges[self._indices[chosen, axis]]
+            highs = edges[self._indices[chosen, axis] + 1]
+            samples[:, axis] = lows + rng.random(size) * (highs - lows)
+        return samples
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"MultiHistogram(dims={self._dims}, grid={self.grid_shape}, "
+            f"occupied={self.n_hyper_buckets()})"
+        )
+
+
+def _deduplicate_cells(indices: np.ndarray, probs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Sum probabilities of duplicate index rows."""
+    if indices.shape[0] == 0:
+        return indices, probs
+    unique, inverse = np.unique(indices, axis=0, return_inverse=True)
+    summed = np.zeros(unique.shape[0])
+    np.add.at(summed, inverse, probs)
+    return unique, summed

@@ -1,0 +1,124 @@
+"""Raw cost distributions extracted from qualified trajectories.
+
+A *raw cost distribution* is the multiset of observed cost values, or
+equivalently a set of ``(cost, percentage)`` pairs (Section 3.1 of the
+paper).  It is the ground-truth empirical distribution that histograms and
+parametric fits approximate.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..exceptions import HistogramError
+
+
+class RawDistribution:
+    """The empirical distribution of a multiset of observed cost values."""
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values: Iterable[float]) -> None:
+        array = np.asarray(list(values), dtype=float)
+        if array.size == 0:
+            raise HistogramError("a raw distribution needs at least one value")
+        if not np.all(np.isfinite(array)):
+            raise HistogramError("raw distribution values must be finite")
+        if np.any(array < 0):
+            raise HistogramError("travel costs must be non-negative")
+        self._values = np.sort(array)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def values(self) -> np.ndarray:
+        """Sorted observed values (read-only view)."""
+        view = self._values.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def n(self) -> int:
+        """Number of observations."""
+        return int(self._values.size)
+
+    @property
+    def min(self) -> float:
+        return float(self._values[0])
+
+    @property
+    def max(self) -> float:
+        return float(self._values[-1])
+
+    @property
+    def mean(self) -> float:
+        return float(self._values.mean())
+
+    @property
+    def std(self) -> float:
+        return float(self._values.std())
+
+    def quantile(self, q: float) -> float:
+        """Empirical quantile for ``q`` in [0, 1]."""
+        if not 0.0 <= q <= 1.0:
+            raise HistogramError(f"quantile level must be in [0, 1], got {q}")
+        return float(np.quantile(self._values, q))
+
+    def probability_pairs(self) -> list[tuple[float, float]]:
+        """Distinct ``(cost, percentage)`` pairs, matching the paper's form."""
+        unique, counts = np.unique(self._values, return_counts=True)
+        total = float(counts.sum())
+        return [(float(v), float(c) / total) for v, c in zip(unique, counts)]
+
+    def storage_size(self) -> int:
+        """Number of scalar entries needed to store the raw ``(cost, frequency)`` pairs.
+
+        Used by the space-saving experiments (Figure 11(c)): the raw data
+        distribution stores two scalars per distinct cost value.
+        """
+        unique = np.unique(self._values)
+        return 2 * int(unique.size)
+
+    def split_folds(self, n_folds: int, rng: np.random.Generator) -> list["RawDistribution"]:
+        """Randomly split the values into ``n_folds`` (near) equal partitions."""
+        if n_folds < 2:
+            raise HistogramError(f"need at least 2 folds, got {n_folds}")
+        if n_folds > self.n:
+            raise HistogramError(f"cannot split {self.n} values into {n_folds} folds")
+        permuted = rng.permutation(self._values)
+        folds = np.array_split(permuted, n_folds)
+        return [RawDistribution(fold) for fold in folds if fold.size > 0]
+
+    def subsample(self, fraction: float, rng: np.random.Generator) -> "RawDistribution":
+        """A random subsample containing ``fraction`` of the values (at least one)."""
+        if not 0.0 < fraction <= 1.0:
+            raise HistogramError(f"fraction must be in (0, 1], got {fraction}")
+        count = max(1, int(round(self.n * fraction)))
+        chosen = rng.choice(self._values, size=count, replace=False)
+        return RawDistribution(chosen)
+
+    def merge(self, other: "RawDistribution") -> "RawDistribution":
+        """The raw distribution of the concatenated multisets."""
+        return RawDistribution(np.concatenate([self._values, other._values]))
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"RawDistribution(n={self.n}, mean={self.mean:.1f}, range=[{self.min:.1f}, {self.max:.1f}])"
+
+
+def raw_from_pairs(pairs: Sequence[tuple[float, float]], total_count: int = 1000) -> RawDistribution:
+    """Expand ``(cost, percentage)`` pairs back into an approximate multiset.
+
+    Convenience for tests and examples that specify distributions in the
+    paper's ``(cost, perc)`` notation.
+    """
+    if not pairs:
+        raise HistogramError("need at least one (cost, percentage) pair")
+    values: list[float] = []
+    for cost, perc in pairs:
+        count = max(1, int(round(perc * total_count)))
+        values.extend([cost] * count)
+    return RawDistribution(values)

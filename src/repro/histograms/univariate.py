@@ -1,0 +1,391 @@
+"""One-dimensional histograms used as univariate cost distributions.
+
+A histogram is a set of ``(bucket, probability)`` pairs where a bucket is a
+half-open travel-cost range ``[l, u)`` and the probabilities sum to one
+(Section 3.1).  Probability mass is assumed uniformly distributed inside a
+bucket, which is the assumption the paper uses when rearranging overlapping
+buckets (Section 4.2) and when splitting probabilities during convolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..exceptions import HistogramError
+from .raw import RawDistribution
+
+_PROBABILITY_TOLERANCE = 1e-6
+
+
+@dataclass(frozen=True)
+class Bucket:
+    """A half-open travel-cost range ``[lower, upper)``."""
+
+    lower: float
+    upper: float
+
+    def __post_init__(self) -> None:
+        if not np.isfinite(self.lower) or not np.isfinite(self.upper):
+            raise HistogramError(f"bucket bounds must be finite, got [{self.lower}, {self.upper})")
+        if self.upper <= self.lower:
+            raise HistogramError(f"bucket upper bound must exceed lower bound: [{self.lower}, {self.upper})")
+
+    @property
+    def width(self) -> float:
+        return self.upper - self.lower
+
+    @property
+    def midpoint(self) -> float:
+        return (self.lower + self.upper) / 2.0
+
+    def contains(self, value: float) -> bool:
+        return self.lower <= value < self.upper
+
+    def overlap_width(self, other: "Bucket") -> float:
+        """Width of the overlap between this bucket and ``other`` (0 if disjoint)."""
+        return max(0.0, min(self.upper, other.upper) - max(self.lower, other.lower))
+
+    def shift(self, offset: float) -> "Bucket":
+        return Bucket(self.lower + offset, self.upper + offset)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"[{self.lower:.3g}, {self.upper:.3g})"
+
+
+def rearrange_buckets(weighted_buckets: Iterable[tuple[Bucket, float]]) -> "Histogram1D":
+    """Combine possibly-overlapping weighted buckets into a disjoint histogram.
+
+    This implements the bucket rearrangement of Section 4.2: the real line
+    is split at every bucket boundary, and each original bucket contributes
+    to a refined bucket proportionally to the overlap width (uniform mass
+    within a bucket).  The result is a valid, disjoint histogram.
+
+    The implementation accumulates per-item probability *densities* on the
+    refined grid with a difference array, so the cost is O(n log n) in the
+    number of input buckets rather than quadratic.
+    """
+    items = [(bucket, float(prob)) for bucket, prob in weighted_buckets if prob > 0.0]
+    if not items:
+        raise HistogramError("cannot rearrange an empty set of buckets")
+    lows = np.array([bucket.lower for bucket, _ in items])
+    highs = np.array([bucket.upper for bucket, _ in items])
+    probs = np.array([prob for _, prob in items])
+    total = probs.sum()
+    if total <= 0:
+        raise HistogramError("total probability of buckets must be positive")
+
+    boundaries = np.unique(np.concatenate([lows, highs]))
+    if boundaries.size < 2:
+        raise HistogramError("cannot rearrange zero-width buckets")
+    densities = probs / (highs - lows)
+    # Difference array over boundary indices: +density at the bucket's lower
+    # boundary, -density at its upper boundary; the prefix sum gives the
+    # total density inside each refined cell.
+    delta = np.zeros(boundaries.size)
+    np.add.at(delta, np.searchsorted(boundaries, lows), densities)
+    np.subtract.at(delta, np.searchsorted(boundaries, highs), densities)
+    cell_density = np.cumsum(delta)[:-1]
+    cell_widths = np.diff(boundaries)
+    probabilities = cell_density * cell_widths / total
+    keep = probabilities > 0.0
+    kept_buckets = [
+        Bucket(float(low), float(high))
+        for low, high, flag in zip(boundaries[:-1], boundaries[1:], keep)
+        if flag
+    ]
+    kept_probs = probabilities[keep]
+    return Histogram1D(kept_buckets, kept_probs)
+
+
+class Histogram1D:
+    """A univariate travel-cost distribution as a disjoint bucket histogram."""
+
+    __slots__ = ("_buckets", "_probabilities")
+
+    def __init__(self, buckets: Sequence[Bucket], probabilities: Sequence[float]) -> None:
+        if len(buckets) == 0:
+            raise HistogramError("a histogram needs at least one bucket")
+        if len(buckets) != len(probabilities):
+            raise HistogramError("buckets and probabilities must have equal length")
+        probs = np.asarray(probabilities, dtype=float)
+        if np.any(probs < -_PROBABILITY_TOLERANCE):
+            raise HistogramError("bucket probabilities must be non-negative")
+        probs = np.clip(probs, 0.0, None)
+        total = probs.sum()
+        if not np.isclose(total, 1.0, atol=1e-3):
+            raise HistogramError(f"bucket probabilities must sum to 1, got {total:.6f}")
+        probs = probs / total
+
+        ordered = sorted(zip(buckets, probs), key=lambda item: item[0].lower)
+        sorted_buckets = [bucket for bucket, _ in ordered]
+        for first, second in zip(sorted_buckets[:-1], sorted_buckets[1:]):
+            if second.lower < first.upper - 1e-12:
+                raise HistogramError(f"buckets overlap: {first} and {second}")
+        self._buckets = tuple(sorted_buckets)
+        self._probabilities = np.array([prob for _, prob in ordered], dtype=float)
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_boundaries(cls, boundaries: Sequence[float], probabilities: Sequence[float]) -> "Histogram1D":
+        """Build from consecutive boundaries and per-bucket probabilities."""
+        if len(boundaries) != len(probabilities) + 1:
+            raise HistogramError("need exactly one more boundary than probabilities")
+        buckets = [Bucket(low, high) for low, high in zip(boundaries[:-1], boundaries[1:])]
+        return cls(buckets, probabilities)
+
+    @classmethod
+    def from_values(cls, values: Iterable[float], boundaries: Sequence[float]) -> "Histogram1D":
+        """Histogram of ``values`` using the provided bucket ``boundaries``.
+
+        Values outside the boundary range are clamped into the first/last
+        bucket, so the histogram always accounts for all observations.
+        """
+        array = np.asarray(list(values), dtype=float)
+        if array.size == 0:
+            raise HistogramError("need at least one value")
+        if len(boundaries) < 2:
+            raise HistogramError("need at least two boundaries")
+        edges = np.asarray(boundaries, dtype=float)
+        clamped = np.clip(array, edges[0], np.nextafter(edges[-1], -np.inf))
+        counts, _ = np.histogram(clamped, bins=edges)
+        probs = counts.astype(float) / counts.sum()
+        return cls.from_boundaries(list(edges), list(probs))
+
+    @classmethod
+    def from_raw(cls, distribution: RawDistribution, boundaries: Sequence[float]) -> "Histogram1D":
+        """Histogram of a raw distribution using the provided boundaries."""
+        return cls.from_values(distribution.values, boundaries)
+
+    @classmethod
+    def point_mass(cls, value: float, half_width: float = 0.5) -> "Histogram1D":
+        """A narrow single-bucket histogram centred on ``value``."""
+        half_width = max(half_width, 1e-9)
+        return cls([Bucket(value - half_width, value + half_width)], [1.0])
+
+    @classmethod
+    def uniform(cls, lower: float, upper: float) -> "Histogram1D":
+        """A single-bucket uniform distribution on ``[lower, upper)``."""
+        return cls([Bucket(lower, upper)], [1.0])
+
+    # ------------------------------------------------------------------ #
+    # Inspection
+    # ------------------------------------------------------------------ #
+    @property
+    def buckets(self) -> tuple[Bucket, ...]:
+        return self._buckets
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        view = self._probabilities.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def n_buckets(self) -> int:
+        return len(self._buckets)
+
+    @property
+    def min(self) -> float:
+        """Smallest possible cost value (lower bound of the first bucket)."""
+        return self._buckets[0].lower
+
+    @property
+    def max(self) -> float:
+        """Largest possible cost value (upper bound of the last bucket)."""
+        return self._buckets[-1].upper
+
+    @property
+    def mean(self) -> float:
+        """Expected cost under the uniform-within-bucket assumption."""
+        midpoints = np.array([bucket.midpoint for bucket in self._buckets])
+        return float(np.dot(midpoints, self._probabilities))
+
+    @property
+    def variance(self) -> float:
+        """Variance under the uniform-within-bucket assumption."""
+        mean = self.mean
+        second_moment = 0.0
+        for bucket, prob in zip(self._buckets, self._probabilities):
+            # E[X^2] over a uniform [l, u) is (l^2 + l*u + u^2) / 3.
+            second_moment += prob * (bucket.lower**2 + bucket.lower * bucket.upper + bucket.upper**2) / 3.0
+        return max(0.0, second_moment - mean * mean)
+
+    @property
+    def std(self) -> float:
+        return float(np.sqrt(self.variance))
+
+    def storage_size(self) -> int:
+        """Number of scalars needed to store the histogram (2 bounds + 1 prob per bucket).
+
+        Consecutive buckets share a boundary, so the bound count is
+        ``n_buckets + 1``; used by the space-saving experiment (Fig 11c).
+        """
+        return (self.n_buckets + 1) + self.n_buckets
+
+    # ------------------------------------------------------------------ #
+    # Probability queries
+    # ------------------------------------------------------------------ #
+    def pdf(self, value: float) -> float:
+        """Probability density at ``value`` (uniform within buckets)."""
+        for bucket, prob in zip(self._buckets, self._probabilities):
+            if bucket.contains(value):
+                return prob / bucket.width
+        return 0.0
+
+    def cdf(self, value: float) -> float:
+        """Probability that the cost is at most ``value``."""
+        total = 0.0
+        for bucket, prob in zip(self._buckets, self._probabilities):
+            if value >= bucket.upper:
+                total += prob
+            elif value > bucket.lower:
+                total += prob * (value - bucket.lower) / bucket.width
+            else:
+                break
+        return min(1.0, total)
+
+    def prob_at_most(self, budget: float) -> float:
+        """Alias of :meth:`cdf`; probability of completing within ``budget``."""
+        return self.cdf(budget)
+
+    def prob_between(self, lower: float, upper: float) -> float:
+        """Probability that the cost lies in ``[lower, upper)``."""
+        if upper <= lower:
+            return 0.0
+        return max(0.0, self.cdf(upper) - self.cdf(lower))
+
+    def quantile(self, q: float) -> float:
+        """Smallest value ``x`` with ``cdf(x) >= q``."""
+        if not 0.0 <= q <= 1.0:
+            raise HistogramError(f"quantile level must be in [0, 1], got {q}")
+        if q == 0.0:
+            return self.min
+        cumulative = 0.0
+        for bucket, prob in zip(self._buckets, self._probabilities):
+            if cumulative + prob >= q:
+                if prob == 0.0:
+                    return bucket.lower
+                fraction = (q - cumulative) / prob
+                return bucket.lower + fraction * bucket.width
+            cumulative += prob
+        return self.max
+
+    def sample(self, rng: np.random.Generator, size: int = 1) -> np.ndarray:
+        """Draw ``size`` samples (uniform within the selected bucket)."""
+        if size < 1:
+            raise HistogramError(f"size must be >= 1, got {size}")
+        indices = rng.choice(self.n_buckets, size=size, p=self._probabilities)
+        lows = np.array([self._buckets[i].lower for i in indices])
+        widths = np.array([self._buckets[i].width for i in indices])
+        return lows + rng.random(size) * widths
+
+    # ------------------------------------------------------------------ #
+    # Transformations
+    # ------------------------------------------------------------------ #
+    def shift(self, offset: float) -> "Histogram1D":
+        """Histogram of ``X + offset``."""
+        return Histogram1D([bucket.shift(offset) for bucket in self._buckets], self._probabilities)
+
+    def convolve(self, other: "Histogram1D", max_buckets: int | None = 64) -> "Histogram1D":
+        """Distribution of the sum of two independent costs (the paper's ⊙).
+
+        Every pair of buckets combines into a bucket whose bounds are the
+        sums of the operand bounds and whose probability is the product of
+        the operand probabilities; overlapping result buckets are then
+        rearranged into a disjoint histogram.  ``max_buckets`` caps the
+        output size (by merging) to keep repeated convolution tractable.
+        """
+        combined: list[tuple[Bucket, float]] = []
+        for bucket_a, prob_a in zip(self._buckets, self._probabilities):
+            if prob_a <= 0.0:
+                continue
+            for bucket_b, prob_b in zip(other._buckets, other._probabilities):
+                prob = prob_a * prob_b
+                if prob <= 0.0:
+                    continue
+                combined.append(
+                    (Bucket(bucket_a.lower + bucket_b.lower, bucket_a.upper + bucket_b.upper), prob)
+                )
+        result = rearrange_buckets(combined)
+        if max_buckets is not None and result.n_buckets > max_buckets:
+            result = result.coarsen(max_buckets)
+        return result
+
+    def cdf_values(self, values: Sequence[float]) -> np.ndarray:
+        """Vectorised CDF evaluation at many points.
+
+        The CDF of a bucket histogram is piecewise linear with knots at the
+        bucket boundaries (and flat across gaps between non-adjacent
+        buckets), so it can be evaluated by linear interpolation on the
+        cumulative probabilities.
+        """
+        knots_x: list[float] = [self._buckets[0].lower]
+        knots_y: list[float] = [0.0]
+        cumulative = 0.0
+        for bucket, prob in zip(self._buckets, self._probabilities):
+            if bucket.lower > knots_x[-1]:
+                knots_x.append(bucket.lower)
+                knots_y.append(cumulative)
+            cumulative += float(prob)
+            knots_x.append(bucket.upper)
+            knots_y.append(cumulative)
+        return np.interp(np.asarray(values, dtype=float), knots_x, knots_y)
+
+    def coarsen(self, max_buckets: int) -> "Histogram1D":
+        """Merge buckets onto an equal-width grid with at most ``max_buckets`` buckets."""
+        if max_buckets < 1:
+            raise HistogramError(f"max_buckets must be >= 1, got {max_buckets}")
+        if self.n_buckets <= max_buckets:
+            return self
+        edges = np.linspace(self.min, self.max, max_buckets + 1)
+        edges[-1] = np.nextafter(self.max, np.inf)
+        probs = np.diff(self.cdf_values(edges))
+        probs = np.clip(probs, 0.0, None)
+        coarse = [Bucket(low, high) for low, high in zip(edges[:-1], edges[1:])]
+        return Histogram1D(coarse, probs / probs.sum())
+
+    def align_to(self, boundaries: Sequence[float]) -> np.ndarray:
+        """Probability mass of this histogram inside each ``[b_i, b_{i+1})`` cell."""
+        edges = np.asarray(boundaries, dtype=float)
+        if edges.size < 2:
+            raise HistogramError("need at least two boundaries")
+        if len(self._buckets) > 8 or edges.size > 16:
+            return np.clip(np.diff(self.cdf_values(edges)), 0.0, None)
+        return np.array(
+            [self.prob_between(low, high) for low, high in zip(edges[:-1], edges[1:])]
+        )
+
+    def boundary_values(self) -> list[float]:
+        """All bucket boundaries, in increasing order."""
+        values = [self._buckets[0].lower]
+        for bucket in self._buckets:
+            values.append(bucket.upper)
+        return values
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Histogram1D):
+            return NotImplemented
+        return self._buckets == other._buckets and np.allclose(
+            self._probabilities, other._probabilities
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        parts = ", ".join(
+            f"{bucket}: {prob:.3f}" for bucket, prob in zip(self._buckets, self._probabilities)
+        )
+        return f"Histogram1D({parts})"
+
+
+def convolve_many(histograms: Sequence[Histogram1D], max_buckets: int | None = 64) -> Histogram1D:
+    """Convolve a sequence of independent cost histograms (legacy baseline helper)."""
+    if not histograms:
+        raise HistogramError("need at least one histogram to convolve")
+    result = histograms[0]
+    for histogram in histograms[1:]:
+        result = result.convolve(histogram, max_buckets=max_buckets)
+    return result

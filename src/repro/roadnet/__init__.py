@@ -1,0 +1,37 @@
+"""Road-network substrate: graph model, path algebra, generators, routing."""
+
+from .graph import Edge, RoadNetwork, Vertex
+from .path import Path
+from .generators import (
+    aalborg_like,
+    beijing_like,
+    grid_network,
+    ring_radial_city,
+)
+from .routing import (
+    astar_path,
+    dijkstra,
+    k_shortest_paths,
+    random_path,
+    shortest_path,
+)
+from .spatial import Point, haversine_m, project_point_to_segment
+
+__all__ = [
+    "Edge",
+    "Path",
+    "Point",
+    "RoadNetwork",
+    "Vertex",
+    "aalborg_like",
+    "astar_path",
+    "beijing_like",
+    "dijkstra",
+    "grid_network",
+    "haversine_m",
+    "k_shortest_paths",
+    "project_point_to_segment",
+    "random_path",
+    "ring_radial_city",
+    "shortest_path",
+]

@@ -1,0 +1,237 @@
+"""Deterministic routing algorithms over the road network.
+
+These are substrate algorithms: the stochastic routing subsystem and the
+evaluation workload generators need deterministic shortest paths (Dijkstra
+and A*), alternative paths (Yen's k-shortest paths), and random simple
+paths for sampling query workloads and trip itineraries.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+import numpy as np
+
+from ..exceptions import RoutingError
+from .graph import Edge, RoadNetwork
+from .path import Path
+
+EdgeWeight = Callable[[Edge], float]
+
+
+def _free_flow_weight(edge: Edge) -> float:
+    return edge.free_flow_time_s
+
+
+def dijkstra(
+    network: RoadNetwork,
+    source: int,
+    target: int | None = None,
+    weight: EdgeWeight | None = None,
+) -> tuple[dict[int, float], dict[int, int]]:
+    """Single-source shortest path distances and predecessor edges.
+
+    Returns ``(distances, predecessor_edge)`` where ``predecessor_edge[v]``
+    is the edge id used to reach vertex ``v``.  If ``target`` is given the
+    search stops early once the target is settled.
+    """
+    weight = weight or _free_flow_weight
+    distances: dict[int, float] = {source: 0.0}
+    predecessor: dict[int, int] = {}
+    settled: set[int] = set()
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    while heap:
+        dist, vertex = heapq.heappop(heap)
+        if vertex in settled:
+            continue
+        settled.add(vertex)
+        if target is not None and vertex == target:
+            break
+        for edge in network.out_edges(vertex):
+            candidate = dist + weight(edge)
+            if candidate < distances.get(edge.target, float("inf")):
+                distances[edge.target] = candidate
+                predecessor[edge.target] = edge.edge_id
+                heapq.heappush(heap, (candidate, edge.target))
+    return distances, predecessor
+
+
+def _reconstruct(network: RoadNetwork, predecessor: dict[int, int], source: int, target: int) -> Path:
+    edge_ids: list[int] = []
+    vertex = target
+    while vertex != source:
+        edge_id = predecessor.get(vertex)
+        if edge_id is None:
+            raise RoutingError(f"no path from {source} to {target}")
+        edge_ids.append(edge_id)
+        vertex = network.edge(edge_id).source
+    edge_ids.reverse()
+    return Path(edge_ids)
+
+
+def shortest_path(
+    network: RoadNetwork,
+    source: int,
+    target: int,
+    weight: EdgeWeight | None = None,
+) -> Path:
+    """Shortest path from ``source`` to ``target`` under ``weight`` (default: free-flow time)."""
+    if source == target:
+        raise RoutingError("source and target must differ")
+    _, predecessor = dijkstra(network, source, target, weight)
+    return _reconstruct(network, predecessor, source, target)
+
+
+def astar_path(
+    network: RoadNetwork,
+    source: int,
+    target: int,
+    weight: EdgeWeight | None = None,
+    max_speed_kmh: float = 110.0,
+) -> Path:
+    """A* shortest path using a straight-line / max-speed admissible heuristic."""
+    if source == target:
+        raise RoutingError("source and target must differ")
+    weight = weight or _free_flow_weight
+    goal = network.vertex(target).location
+    max_speed_ms = max_speed_kmh / 3.6
+
+    def heuristic(vertex_id: int) -> float:
+        return network.vertex(vertex_id).location.distance_to(goal) / max_speed_ms
+
+    g_score: dict[int, float] = {source: 0.0}
+    predecessor: dict[int, int] = {}
+    settled: set[int] = set()
+    heap: list[tuple[float, int]] = [(heuristic(source), source)]
+    while heap:
+        _, vertex = heapq.heappop(heap)
+        if vertex in settled:
+            continue
+        settled.add(vertex)
+        if vertex == target:
+            return _reconstruct(network, predecessor, source, target)
+        for edge in network.out_edges(vertex):
+            candidate = g_score[vertex] + weight(edge)
+            if candidate < g_score.get(edge.target, float("inf")):
+                g_score[edge.target] = candidate
+                predecessor[edge.target] = edge.edge_id
+                heapq.heappush(heap, (candidate + heuristic(edge.target), edge.target))
+    raise RoutingError(f"no path from {source} to {target}")
+
+
+def k_shortest_paths(
+    network: RoadNetwork,
+    source: int,
+    target: int,
+    k: int,
+    weight: EdgeWeight | None = None,
+) -> list[Path]:
+    """Yen's algorithm for the ``k`` loopless shortest paths.
+
+    Used by the evaluation harness to build sets of alternative candidate
+    paths (the "given candidate paths" scenario of Section 4.3).
+    """
+    if k < 1:
+        raise RoutingError("k must be >= 1")
+    weight = weight or _free_flow_weight
+
+    def path_cost(path: Path) -> float:
+        return sum(weight(network.edge(edge_id)) for edge_id in path)
+
+    try:
+        first = shortest_path(network, source, target, weight)
+    except RoutingError:
+        return []
+    accepted: list[Path] = [first]
+    candidates: list[tuple[float, tuple[int, ...]]] = []
+    seen_candidates: set[tuple[int, ...]] = set()
+
+    while len(accepted) < k:
+        previous = accepted[-1]
+        prev_vertices = previous.vertex_sequence(network)
+        for i in range(len(previous)):
+            spur_vertex = prev_vertices[i]
+            root_edge_ids = previous.edge_ids[:i]
+            removed_edges: set[int] = set()
+            removed_vertices: set[int] = set(prev_vertices[:i])
+
+            for accepted_path in accepted:
+                if accepted_path.edge_ids[:i] == root_edge_ids and len(accepted_path) > i:
+                    removed_edges.add(accepted_path.edge_ids[i])
+
+            def spur_weight(edge: Edge) -> float:
+                if edge.edge_id in removed_edges:
+                    return float("inf")
+                if edge.source in removed_vertices or edge.target in removed_vertices:
+                    return float("inf")
+                return weight(edge)
+
+            try:
+                spur = shortest_path(network, spur_vertex, target, spur_weight)
+            except RoutingError:
+                continue
+            if path_cost(spur) == float("inf"):
+                continue
+            total_ids = root_edge_ids + spur.edge_ids
+            if len(set(total_ids)) != len(total_ids):
+                continue
+            try:
+                total = Path.from_edges(network, total_ids)
+            except Exception:
+                continue
+            key = total.edge_ids
+            if key in seen_candidates or total in accepted:
+                continue
+            seen_candidates.add(key)
+            heapq.heappush(candidates, (path_cost(total), key))
+        if not candidates:
+            break
+        _, best_ids = heapq.heappop(candidates)
+        accepted.append(Path(best_ids))
+    return accepted
+
+
+def random_path(
+    network: RoadNetwork,
+    n_edges: int,
+    rng: np.random.Generator,
+    start_edge_id: int | None = None,
+    max_attempts: int = 200,
+) -> Path | None:
+    """Sample a random simple path with exactly ``n_edges`` edges.
+
+    The walk prefers continuing along the same road category (so simulated
+    trips look like real itineraries rather than random zig-zags).  Returns
+    ``None`` when no such path is found within ``max_attempts`` restarts.
+    """
+    if n_edges < 1:
+        raise RoutingError("n_edges must be >= 1")
+    edge_ids = [edge.edge_id for edge in network.edges()]
+    if not edge_ids:
+        return None
+    for _ in range(max_attempts):
+        if start_edge_id is not None:
+            current = network.edge(start_edge_id)
+        else:
+            current = network.edge(int(rng.choice(edge_ids)))
+        chosen = [current.edge_id]
+        visited_vertices = {current.source, current.target}
+        while len(chosen) < n_edges:
+            successors = [
+                edge
+                for edge in network.successors_of_edge(chosen[-1])
+                if edge.target not in visited_vertices
+            ]
+            if not successors:
+                break
+            weights = np.array(
+                [3.0 if edge.category == network.edge(chosen[-1]).category else 1.0 for edge in successors]
+            )
+            weights = weights / weights.sum()
+            nxt = successors[int(rng.choice(len(successors), p=weights))]
+            chosen.append(nxt.edge_id)
+            visited_vertices.add(nxt.target)
+        if len(chosen) == n_edges:
+            return Path(chosen)
+    return None

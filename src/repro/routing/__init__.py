@@ -1,0 +1,13 @@
+"""Stochastic routing built on top of path cost distribution estimation."""
+
+from .queries import ProbabilisticBudgetQuery, first_order_dominates
+from .incremental import IncrementalCostEstimator
+from .dfs_router import DFSStochasticRouter, RouteResult
+
+__all__ = [
+    "DFSStochasticRouter",
+    "IncrementalCostEstimator",
+    "ProbabilisticBudgetQuery",
+    "RouteResult",
+    "first_order_dominates",
+]

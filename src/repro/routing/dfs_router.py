@@ -1,0 +1,158 @@
+"""Depth-first stochastic routing with a pluggable cost estimator.
+
+This is the "DFS based stochastic routing algorithm" used by the paper's
+Figure 18 experiment (after Hua & Pei's probabilistic path queries): given a
+source, a destination, a departure time and a travel-time budget, find the
+path with the highest probability of arriving within the budget.
+
+Candidate paths are explored with a depth-first search that extends a path
+one edge at a time ("path + another edge").  Two pruning rules keep the
+search tractable:
+
+* **budget pruning** -- the probability that the partial path plus an
+  optimistic (free-flow) estimate of the remaining distance meets the budget
+  is an upper bound on any completion's probability; candidates whose bound
+  falls below the best probability found so far (or a caller-given
+  threshold) are discarded;
+* **depth pruning** -- paths are not extended beyond ``max_path_edges``
+  edges.
+
+The cost estimator is pluggable (LB, HP or OD), which is exactly how the
+paper compares LB-DFS / HP-DFS / OD-DFS.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..exceptions import RoutingError
+from ..roadnet.graph import RoadNetwork
+from ..roadnet.path import Path
+from ..roadnet.routing import dijkstra
+from .incremental import IncrementalCostEstimator
+from .queries import SupportsEstimate
+
+
+@dataclass(frozen=True)
+class RouteResult:
+    """The outcome of a stochastic route search."""
+
+    path: Path | None
+    probability: float
+    paths_evaluated: int
+    elapsed_s: float
+
+    @property
+    def found(self) -> bool:
+        return self.path is not None
+
+
+class DFSStochasticRouter:
+    """Finds the path with the highest probability of meeting a travel-time budget."""
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        estimator: SupportsEstimate,
+        max_path_edges: int = 40,
+        probability_threshold: float = 0.0,
+        use_incremental: bool = True,
+        max_expansions: int = 20000,
+    ) -> None:
+        if max_path_edges < 1:
+            raise RoutingError("max_path_edges must be >= 1")
+        if not 0.0 <= probability_threshold <= 1.0:
+            raise RoutingError("probability_threshold must be in [0, 1]")
+        self.network = network
+        self.max_path_edges = max_path_edges
+        self.probability_threshold = probability_threshold
+        self.max_expansions = max_expansions
+        if use_incremental and not isinstance(estimator, IncrementalCostEstimator):
+            self.estimator: SupportsEstimate = IncrementalCostEstimator(estimator)
+        else:
+            self.estimator = estimator
+
+    # ------------------------------------------------------------------ #
+    def _free_flow_lower_bounds(self, target: int) -> dict[int, float]:
+        """Free-flow travel time from every vertex to the target (reverse Dijkstra)."""
+        reverse = RoadNetwork(name=f"{self.network.name}-reversed")
+        for vertex in self.network.vertices():
+            reverse.add_vertex(vertex.vertex_id, vertex.location.x, vertex.location.y)
+        for edge in self.network.edges():
+            reverse.add_edge(
+                edge.target, edge.source, edge.length_m, edge.speed_limit_kmh, edge.category
+            )
+        distances, _ = dijkstra(reverse, target)
+        return distances
+
+    def find_route(
+        self,
+        source: int,
+        target: int,
+        departure_time_s: float,
+        budget_s: float,
+    ) -> RouteResult:
+        """Find the source-target path with the highest P(travel time <= budget)."""
+        if source == target:
+            raise RoutingError("source and target must differ")
+        if budget_s <= 0:
+            raise RoutingError("budget_s must be positive")
+        started = time.perf_counter()
+        if isinstance(self.estimator, IncrementalCostEstimator):
+            self.estimator.clear()
+        lower_bounds = self._free_flow_lower_bounds(target)
+        if source not in lower_bounds:
+            return RouteResult(None, 0.0, 0, time.perf_counter() - started)
+
+        best_path: Path | None = None
+        best_probability = self.probability_threshold
+        paths_evaluated = 0
+        expansions = 0
+
+        # Depth-first exploration over ("path so far", visited vertices).
+        stack: list[tuple[tuple[int, ...], frozenset[int], int]] = []
+        for edge in sorted(
+            self.network.out_edges(source), key=lambda e: lower_bounds.get(e.target, float("inf"))
+        ):
+            if edge.target in lower_bounds:
+                stack.append(((edge.edge_id,), frozenset({source, edge.target}), edge.target))
+
+        while stack and expansions < self.max_expansions:
+            edge_ids, visited, current_vertex = stack.pop()
+            expansions += 1
+            path = Path(edge_ids)
+            estimate = self.estimator.estimate(path, departure_time_s)
+            paths_evaluated += 1
+
+            remaining_bound = lower_bounds.get(current_vertex)
+            if remaining_bound is None:
+                continue
+            optimistic_probability = estimate.histogram.prob_at_most(budget_s - remaining_bound)
+            if optimistic_probability <= best_probability:
+                continue
+
+            if current_vertex == target:
+                probability = estimate.histogram.prob_at_most(budget_s)
+                if probability > best_probability:
+                    best_probability = probability
+                    best_path = path
+                continue
+
+            if len(edge_ids) >= self.max_path_edges:
+                continue
+            successors = sorted(
+                self.network.out_edges(current_vertex),
+                key=lambda e: lower_bounds.get(e.target, float("inf")),
+                reverse=True,
+            )
+            for edge in successors:
+                if edge.target in visited or edge.target not in lower_bounds:
+                    continue
+                stack.append(
+                    (edge_ids + (edge.edge_id,), visited | {edge.target}, edge.target)
+                )
+
+        elapsed = time.perf_counter() - started
+        found_probability = best_probability if best_path is not None else 0.0
+        return RouteResult(best_path, found_probability, paths_evaluated, elapsed)

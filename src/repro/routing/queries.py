@@ -1,0 +1,86 @@
+"""Probabilistic route-quality queries and dominance tests.
+
+The motivating example of the paper (Figure 1(a)) asks: *which path has the
+highest probability of arriving within 60 minutes?*  This module provides
+the query objects used to compare candidate paths on their estimated cost
+distributions, plus the first-order stochastic dominance test that
+stochastic routing algorithms use for pruning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+from ..exceptions import RoutingError
+from ..histograms.univariate import Histogram1D
+from ..roadnet.path import Path
+
+
+class SupportsEstimate(Protocol):
+    """Anything with an ``estimate(path, departure_time_s)`` returning a cost estimate."""
+
+    def estimate(self, path: Path, departure_time_s: float):  # pragma: no cover - protocol
+        ...
+
+
+def first_order_dominates(first: Histogram1D, second: Histogram1D, n_points: int = 32) -> bool:
+    """True when ``first`` first-order stochastically dominates ``second``.
+
+    ``first`` dominates ``second`` when its CDF is everywhere at least as
+    large (it is "faster" in probability at every budget).  The test is
+    evaluated on a grid spanning both supports.
+    """
+    low = min(first.min, second.min)
+    high = max(first.max, second.max)
+    if high <= low:
+        return True
+    step = (high - low) / max(1, n_points - 1)
+    points = [low + i * step for i in range(n_points)]
+    strictly_better_somewhere = False
+    for point in points:
+        cdf_first = first.cdf(point)
+        cdf_second = second.cdf(point)
+        if cdf_first < cdf_second - 1e-12:
+            return False
+        if cdf_first > cdf_second + 1e-12:
+            strictly_better_somewhere = True
+    return strictly_better_somewhere
+
+
+@dataclass(frozen=True)
+class ProbabilisticBudgetQuery:
+    """A "probability of arriving within the budget" query (Figure 1(a))."""
+
+    departure_time_s: float
+    budget: float
+
+    def __post_init__(self) -> None:
+        if self.budget <= 0:
+            raise RoutingError(f"budget must be positive, got {self.budget}")
+
+    def probability(self, estimator: SupportsEstimate, path: Path) -> float:
+        """P(cost of ``path`` <= budget) under the given estimator."""
+        estimate = estimator.estimate(path, self.departure_time_s)
+        return estimate.histogram.prob_at_most(self.budget)
+
+    def best_path(
+        self, estimator: SupportsEstimate, candidates: Sequence[Path]
+    ) -> tuple[Path, float]:
+        """The candidate with the highest probability of meeting the budget.
+
+        This is the paper's first usage scenario (Section 4.3): a small set
+        of alternative paths is given, and the estimator decides which one
+        to take.
+        """
+        if not candidates:
+            raise RoutingError("need at least one candidate path")
+        best_path: Path | None = None
+        best_probability = -1.0
+        for candidate in candidates:
+            probability = self.probability(estimator, candidate)
+            if probability > best_probability:
+                best_probability = probability
+                best_path = candidate
+        assert best_path is not None
+        return best_path, best_probability

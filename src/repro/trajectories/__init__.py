@@ -1,0 +1,24 @@
+"""Trajectory substrate: GPS records, traffic simulation, map matching, storage."""
+
+from .gps import GPSRecord, Trajectory
+from .matched import EdgeTraversal, MatchedTrajectory, PathObservation
+from .traffic import TimeOfDayProfile, TrafficModel
+from .simulator import TrafficSimulator
+from .mapmatching import HMMMapMatcher
+from .costs import ghg_emissions_g, travel_time_s
+from .store import TrajectoryStore
+
+__all__ = [
+    "EdgeTraversal",
+    "GPSRecord",
+    "HMMMapMatcher",
+    "MatchedTrajectory",
+    "PathObservation",
+    "TimeOfDayProfile",
+    "TrafficModel",
+    "TrafficSimulator",
+    "Trajectory",
+    "TrajectoryStore",
+    "ghg_emissions_g",
+    "travel_time_s",
+]

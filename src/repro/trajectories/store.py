@@ -1,0 +1,187 @@
+"""Trajectory store: indexed access to matched trajectories.
+
+The store answers the queries the hybrid graph instantiation and the
+evaluation harness need:
+
+* which trajectories *occurred on* a path (the path is a sub-path of the
+  trajectory's path), and with what departure time and per-edge costs;
+* which of those are *qualified* for a departure time ``t`` (departed
+  within the qualification window of ``t``) or fall into a given
+  alpha-interval;
+* dataset-level statistics used by the sparseness analysis (Figure 3) and
+  the coverage analysis (Figure 8).
+
+Lookups are served from an inverted index mapping each edge to the
+``(trajectory, position)`` pairs where that edge occurs, so a path lookup
+only scans the trajectories that contain the path's first edge.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..exceptions import TrajectoryError
+from ..roadnet.path import Path
+from ..timeutil import TimeInterval, interval_of
+from .matched import MatchedTrajectory, PathObservation
+
+
+class TrajectoryStore:
+    """An in-memory, indexed collection of matched trajectories."""
+
+    def __init__(self, trajectories: Iterable[MatchedTrajectory]) -> None:
+        self._trajectories = list(trajectories)
+        if not self._trajectories:
+            raise TrajectoryError("the trajectory store needs at least one trajectory")
+        # Inverted index: edge id -> list of (trajectory index, position in path).
+        self._edge_index: dict[int, list[tuple[int, int]]] = defaultdict(list)
+        for trajectory_index, trajectory in enumerate(self._trajectories):
+            for position, edge_id in enumerate(trajectory.edge_ids):
+                self._edge_index[edge_id].append((trajectory_index, position))
+
+    # ------------------------------------------------------------------ #
+    # Basic access
+    # ------------------------------------------------------------------ #
+    @property
+    def trajectories(self) -> list[MatchedTrajectory]:
+        return list(self._trajectories)
+
+    def __len__(self) -> int:
+        return len(self._trajectories)
+
+    def total_edge_traversals(self) -> int:
+        """Total number of edge traversals across all trajectories."""
+        return sum(len(trajectory) for trajectory in self._trajectories)
+
+    def covered_edges(self) -> set[int]:
+        """Edges traversed by at least one trajectory (the paper's ``E''``)."""
+        return set(self._edge_index.keys())
+
+    def without_trajectories(self, trajectory_ids: set[int]) -> "TrajectoryStore":
+        """A store excluding the given trajectory ids (used for held-out evaluation)."""
+        remaining = [t for t in self._trajectories if t.trajectory_id not in trajectory_ids]
+        if not remaining:
+            raise TrajectoryError("excluding these trajectories would empty the store")
+        return TrajectoryStore(remaining)
+
+    def subset(self, fraction: float, seed: int = 0) -> "TrajectoryStore":
+        """A store holding a random ``fraction`` of the trajectories (at least one)."""
+        if not 0.0 < fraction <= 1.0:
+            raise TrajectoryError(f"fraction must be in (0, 1], got {fraction}")
+        if fraction == 1.0:
+            return TrajectoryStore(self._trajectories)
+        rng = np.random.default_rng(seed)
+        count = max(1, int(round(len(self._trajectories) * fraction)))
+        indices = rng.choice(len(self._trajectories), size=count, replace=False)
+        return TrajectoryStore([self._trajectories[i] for i in sorted(indices)])
+
+    # ------------------------------------------------------------------ #
+    # Path-level queries
+    # ------------------------------------------------------------------ #
+    def observations_on(self, path: Path) -> list[PathObservation]:
+        """All observations of trajectories that occurred on ``path``."""
+        needle = path.edge_ids
+        span = len(needle)
+        first_edge = needle[0]
+        observations: list[PathObservation] = []
+        for trajectory_index, position in self._edge_index.get(first_edge, []):
+            trajectory = self._trajectories[trajectory_index]
+            own_ids = trajectory.edge_ids
+            if position + span <= len(own_ids) and own_ids[position : position + span] == needle:
+                observations.append(trajectory.observation_at(position, span))
+        return observations
+
+    def count_on(self, path: Path) -> int:
+        """Number of trajectories that occurred on ``path`` (any time)."""
+        return len(self.observations_on(path))
+
+    def qualified_observations(
+        self,
+        path: Path,
+        departure_time_s: float,
+        window_minutes: float = 30.0,
+    ) -> list[PathObservation]:
+        """Observations on ``path`` departing within ``window_minutes`` of ``departure_time_s``."""
+        window_s = window_minutes * 60.0
+        return [
+            observation
+            for observation in self.observations_on(path)
+            if abs(observation.departure_time_s - departure_time_s) <= window_s
+        ]
+
+    def observations_in_interval(self, path: Path, interval: TimeInterval) -> list[PathObservation]:
+        """Observations on ``path`` whose departure time falls in ``interval``."""
+        return [
+            observation
+            for observation in self.observations_on(path)
+            if interval.contains(observation.departure_time_s)
+        ]
+
+    def observations_by_interval(
+        self, path: Path, alpha_minutes: int
+    ) -> dict[int, list[PathObservation]]:
+        """Observations on ``path`` grouped by their alpha-interval index."""
+        grouped: dict[int, list[PathObservation]] = defaultdict(list)
+        for observation in self.observations_on(path):
+            grouped[interval_of(observation.departure_time_s, alpha_minutes).index].append(observation)
+        return dict(grouped)
+
+    # ------------------------------------------------------------------ #
+    # Dataset-level statistics
+    # ------------------------------------------------------------------ #
+    def unit_paths(self) -> list[Path]:
+        """All unit paths (single edges) that appear in at least one trajectory."""
+        return [Path([edge_id]) for edge_id in sorted(self._edge_index.keys())]
+
+    def frequent_subpath_counts(
+        self,
+        cardinality: int,
+        min_count: int = 1,
+    ) -> dict[tuple[int, ...], int]:
+        """Counts of trajectories per sub-path of the given ``cardinality``.
+
+        Only sub-paths reaching ``min_count`` are returned.  Used by the
+        sparseness analysis and as seed candidates for instantiation.
+        """
+        if cardinality < 1:
+            raise TrajectoryError("cardinality must be >= 1")
+        counts: dict[tuple[int, ...], int] = defaultdict(int)
+        for trajectory in self._trajectories:
+            edge_ids = trajectory.edge_ids
+            seen_in_trajectory: set[tuple[int, ...]] = set()
+            for start in range(len(edge_ids) - cardinality + 1):
+                key = edge_ids[start : start + cardinality]
+                if key not in seen_in_trajectory:
+                    seen_in_trajectory.add(key)
+                    counts[key] += 1
+        return {key: count for key, count in counts.items() if count >= min_count}
+
+    def max_trajectories_by_cardinality(self, max_cardinality: int) -> dict[int, int]:
+        """Maximum number of trajectories on any path, per path cardinality (Figure 3)."""
+        result: dict[int, int] = {}
+        for cardinality in range(1, max_cardinality + 1):
+            counts = self.frequent_subpath_counts(cardinality)
+            result[cardinality] = max(counts.values()) if counts else 0
+        return result
+
+    def paths_with_min_support(
+        self,
+        cardinality: int,
+        min_count: int,
+    ) -> list[Path]:
+        """Paths of the given cardinality traversed by at least ``min_count`` trajectories."""
+        counts = self.frequent_subpath_counts(cardinality, min_count=min_count)
+        return [Path(edge_ids) for edge_ids in counts]
+
+    def merge(self, other: "TrajectoryStore") -> "TrajectoryStore":
+        """A store holding the union of both stores' trajectories."""
+        return TrajectoryStore(self._trajectories + other._trajectories)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"TrajectoryStore({len(self._trajectories)} trajectories, "
+            f"{len(self._edge_index)} covered edges)"
+        )

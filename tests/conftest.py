@@ -1,0 +1,96 @@
+"""Shared fixtures: small networks, simulated data, and a hybrid graph.
+
+The heavier fixtures (trajectory store, hybrid graph, experiment dataset)
+are session-scoped so the cost of simulation and instantiation is paid once
+per test run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    EstimatorParameters,
+    HybridGraphBuilder,
+    SimulationParameters,
+    TrafficSimulator,
+    TrajectoryStore,
+    grid_network,
+    ring_radial_city,
+)
+from repro.eval import build_dataset
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_network():
+    """A 5x5 grid: 25 vertices, 80 directed edges."""
+    return grid_network(5, 5, block_length_m=200.0, arterial_every=2, name="tiny-grid")
+
+
+@pytest.fixture(scope="session")
+def ring_network():
+    """A small ring-radial city used by routing tests."""
+    return ring_radial_city(n_rings=3, n_radials=8)
+
+
+@pytest.fixture(scope="session")
+def small_network():
+    """An 8x8 grid used by the simulation and estimation tests."""
+    return grid_network(8, 8, block_length_m=220.0, arterial_every=4, name="small-grid")
+
+
+@pytest.fixture(scope="session")
+def sim_parameters() -> SimulationParameters:
+    return SimulationParameters(n_trajectories=700, popular_route_count=8, seed=3)
+
+
+@pytest.fixture(scope="session")
+def estimator_parameters() -> EstimatorParameters:
+    return EstimatorParameters(beta=20)
+
+
+@pytest.fixture(scope="session")
+def simulator(small_network, sim_parameters) -> TrafficSimulator:
+    return TrafficSimulator(small_network, sim_parameters)
+
+
+@pytest.fixture(scope="session")
+def matched_trajectories(simulator):
+    return simulator.generate()
+
+
+@pytest.fixture(scope="session")
+def store(matched_trajectories) -> TrajectoryStore:
+    return TrajectoryStore(matched_trajectories)
+
+
+@pytest.fixture(scope="session")
+def hybrid_graph(small_network, store, estimator_parameters):
+    builder = HybridGraphBuilder(small_network, estimator_parameters, max_cardinality=5)
+    return builder.build(store)
+
+
+@pytest.fixture(scope="session")
+def busy_query(simulator):
+    """A query (path, departure time) along the simulator's busiest corridor."""
+    route = simulator.popular_routes[0]
+    return route.path, route.busy_hour * 3600.0
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A small experiment dataset for the eval-harness tests."""
+    return build_dataset(
+        "aalborg",
+        n_trajectories=900,
+        scale=0.25,
+        seed=11,
+        parameters=EstimatorParameters(beta=20),
+        max_cardinality=5,
+    )

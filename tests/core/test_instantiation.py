@@ -1,0 +1,128 @@
+"""Unit tests for hybrid-graph instantiation from trajectories (Section 3)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    EstimatorParameters,
+    HybridGraphBuilder,
+    InstantiationError,
+    MatchedTrajectory,
+    MultiHistogram,
+    Path,
+    TrajectoryStore,
+)
+from repro.core.variables import SOURCE_TRAJECTORIES
+
+
+@pytest.fixture(scope="module")
+def corridor_store(small_network) -> TrajectoryStore:
+    """A hand-built store: one corridor traversed 40 times around 08:00."""
+    rng = np.random.default_rng(0)
+    first = small_network.out_edges(0)[0]
+    second = next(
+        e for e in small_network.successors_of_edge(first.edge_id) if e.target != first.source
+    )
+    third = next(
+        e for e in small_network.successors_of_edge(second.edge_id) if e.target != second.source
+    )
+    edge_ids = [first.edge_id, second.edge_id, third.edge_id]
+    trajectories = []
+    for i in range(40):
+        departure = 8 * 3600.0 + rng.uniform(0, 25 * 60)
+        base = rng.uniform(30, 40)
+        costs = [base + rng.normal(0, 2), base * 1.2 + rng.normal(0, 2), base * 0.8 + rng.normal(0, 2)]
+        trajectories.append(MatchedTrajectory.from_costs(i, edge_ids, departure, costs))
+    # A few off-corridor trips so other edges are observed but under-supported.
+    other = small_network.out_edges(20)[0]
+    for i in range(5):
+        trajectories.append(
+            MatchedTrajectory.from_costs(100 + i, [other.edge_id], 9 * 3600.0, [50.0])
+        )
+    return TrajectoryStore(trajectories)
+
+
+@pytest.fixture(scope="module")
+def built_graph(small_network, corridor_store):
+    builder = HybridGraphBuilder(
+        small_network, EstimatorParameters(beta=30), max_cardinality=3
+    )
+    return builder.build(corridor_store)
+
+
+class TestUnitInstantiation:
+    def test_corridor_edges_instantiated(self, built_graph, corridor_store):
+        corridor = corridor_store.trajectories[0].path
+        for edge_id in corridor.edge_ids:
+            variables = [
+                v for v in built_graph.variables_starting_with(edge_id) if v.rank == 1
+            ]
+            assert variables, f"edge {edge_id} should have a unit variable"
+            assert all(v.source == SOURCE_TRAJECTORIES for v in variables)
+            assert all(v.support >= 30 for v in variables)
+
+    def test_undersupported_edge_not_instantiated(self, built_graph, small_network):
+        other = small_network.out_edges(20)[0]
+        assert all(v.rank != 1 for v in built_graph.variables_starting_with(other.edge_id))
+
+
+class TestJointInstantiation:
+    def test_full_corridor_instantiated_up_to_cap(self, built_graph, corridor_store):
+        corridor = corridor_store.trajectories[0].path
+        pair = Path(corridor.edge_ids[:2])
+        triple = corridor
+        assert any(v.path == pair for v in built_graph.variables)
+        assert any(v.path == triple for v in built_graph.variables)
+        assert built_graph.max_rank() == 3
+
+    def test_joint_distribution_dimensions_match_path(self, built_graph):
+        for variable in built_graph.variables:
+            if variable.rank > 1:
+                assert isinstance(variable.distribution, MultiHistogram)
+                assert variable.distribution.dims == variable.path.edge_ids
+
+    def test_joint_marginal_means_are_plausible(self, built_graph, corridor_store):
+        corridor = corridor_store.trajectories[0].path
+        variable = next(v for v in built_graph.variables if v.path == corridor)
+        observations = corridor_store.observations_on(corridor)
+        observed = np.array([o.edge_costs for o in observations])
+        for axis, edge_id in enumerate(corridor.edge_ids):
+            marginal = variable.distribution.marginal_1d(edge_id)
+            assert marginal.mean == pytest.approx(observed[:, axis].mean(), rel=0.15)
+
+    def test_rank_cap_respected(self, small_network, corridor_store):
+        builder = HybridGraphBuilder(
+            small_network, EstimatorParameters(beta=30, max_rank=2), max_cardinality=5
+        )
+        graph = builder.build(corridor_store)
+        assert graph.max_rank() <= 2
+
+    def test_max_cardinality_cap_respected(self, small_network, corridor_store):
+        builder = HybridGraphBuilder(
+            small_network, EstimatorParameters(beta=30), max_cardinality=2
+        )
+        graph = builder.build(corridor_store)
+        assert graph.max_rank() <= 2
+
+    def test_higher_beta_instantiates_fewer_variables(self, small_network, corridor_store):
+        low = HybridGraphBuilder(small_network, EstimatorParameters(beta=15), max_cardinality=3)
+        high = HybridGraphBuilder(small_network, EstimatorParameters(beta=45), max_cardinality=3)
+        assert low.build(corridor_store).num_variables() >= high.build(corridor_store).num_variables()
+
+    def test_cv_dimension_strategy_also_works(self, small_network, corridor_store):
+        builder = HybridGraphBuilder(
+            small_network,
+            EstimatorParameters(beta=30),
+            max_cardinality=2,
+            dimension_bucket_strategy="cv",
+        )
+        graph = builder.build(corridor_store)
+        assert graph.max_rank() == 2
+
+
+class TestValidation:
+    def test_invalid_builder_arguments(self, small_network):
+        with pytest.raises(InstantiationError):
+            HybridGraphBuilder(small_network, max_cardinality=0)
+        with pytest.raises(InstantiationError):
+            HybridGraphBuilder(small_network, dimension_bucket_strategy="magic")

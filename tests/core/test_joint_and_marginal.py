@@ -1,0 +1,221 @@
+"""Unit tests for joint-distribution propagation (Eq. 2) and marginalisation (Section 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro import Bucket, EstimationError, Histogram1D, MultiHistogram, Path
+from repro.core.decomposition import Decomposition
+from repro.core.joint import decomposition_entropy, propagate_joint
+from repro.core.marginal import collapse_to_cost_histogram, joint_to_cost_histogram
+from repro.core.relevance import RelevantVariable
+from repro.core.variables import InstantiatedVariable
+from repro.timeutil import interval_of
+
+DEPARTURE = 8 * 3600.0
+INTERVAL = interval_of(DEPARTURE, 30)
+
+
+def variable_from_samples(edge_ids, samples, boundaries=None):
+    """Build an instantiated variable from per-edge cost samples."""
+    samples = np.asarray(samples, dtype=float)
+    if boundaries is None:
+        boundaries = []
+        for axis in range(samples.shape[1]):
+            column = samples[:, axis]
+            edges = np.linspace(column.min(), column.max() + 1e-6, 7)
+            boundaries.append(list(edges))
+    if len(edge_ids) == 1:
+        histogram = Histogram1D.from_values(samples[:, 0], boundaries[0])
+        return InstantiatedVariable(Path(list(edge_ids)), INTERVAL, histogram, support=len(samples))
+    joint = MultiHistogram.from_samples(list(edge_ids), samples, boundaries)
+    return InstantiatedVariable(Path(list(edge_ids)), INTERVAL, joint, support=len(samples))
+
+
+def correlated_samples(rng, n, n_edges, rho=0.8, mean=60.0, scale=10.0):
+    """Strongly correlated per-edge costs (a shared latent slow/fast factor)."""
+    latent = rng.normal(0.0, 1.0, size=(n, 1))
+    noise = rng.normal(0.0, np.sqrt(1 - rho**2), size=(n, n_edges))
+    return mean + scale * (rho * latent + noise)
+
+
+class TestSingleFactor:
+    def test_single_joint_factor_matches_direct_marginal(self, rng):
+        samples = correlated_samples(rng, 400, 3)
+        variable = variable_from_samples([1, 2, 3], samples)
+        decomposition = Decomposition(Path([1, 2, 3]), (RelevantVariable(variable, 0),))
+        propagated = propagate_joint(decomposition)
+        via_propagation = propagated.cost_histogram()
+        direct = variable.distribution.cost_distribution()
+        # The propagation consolidates its state onto a bounded bucket grid,
+        # so agreement is tight but not bit-exact.
+        assert via_propagation.mean == pytest.approx(direct.mean, rel=1e-3)
+        assert via_propagation.min == pytest.approx(direct.min)
+        assert via_propagation.max == pytest.approx(direct.max)
+
+    def test_single_unit_factor(self, rng):
+        samples = rng.normal(50, 5, size=(100, 1))
+        variable = variable_from_samples([7], samples)
+        decomposition = Decomposition(Path([7]), (RelevantVariable(variable, 0),))
+        propagated = propagate_joint(decomposition)
+        assert propagated.cost_histogram().mean == pytest.approx(variable.distribution.mean, rel=1e-6)
+
+
+class TestChainPropagation:
+    def test_disjoint_factors_behave_like_convolution(self, rng):
+        a = variable_from_samples([1], rng.normal(40, 4, size=(200, 1)))
+        b = variable_from_samples([2], rng.normal(70, 6, size=(200, 1)))
+        decomposition = Decomposition(
+            Path([1, 2]), (RelevantVariable(a, 0), RelevantVariable(b, 1))
+        )
+        propagated = propagate_joint(decomposition)
+        histogram = propagated.cost_histogram()
+        expected = a.distribution.convolve(b.distribution)
+        assert histogram.mean == pytest.approx(expected.mean, rel=1e-6)
+        assert histogram.min == pytest.approx(expected.min)
+
+    def test_mean_is_additive_across_overlapping_factors(self, rng):
+        samples = correlated_samples(rng, 500, 3)
+        first = variable_from_samples([1, 2], samples[:, :2])
+        second = variable_from_samples([2, 3], samples[:, 1:])
+        decomposition = Decomposition(
+            Path([1, 2, 3]), (RelevantVariable(first, 0), RelevantVariable(second, 1))
+        )
+        histogram = propagate_joint(decomposition).cost_histogram()
+        expected_mean = samples.sum(axis=1).mean()
+        assert histogram.mean == pytest.approx(expected_mean, rel=0.05)
+
+    def test_overlapping_decomposition_captures_correlation_better_than_independence(self, rng):
+        """The core claim of the paper: conditioning on the shared edge preserves
+
+        the cost dependency, so the estimated variance is close to the truth,
+        while assuming independent edges underestimates it.
+        """
+        samples = correlated_samples(rng, 2000, 3, rho=0.9)
+        true_std = samples.sum(axis=1).std()
+
+        first = variable_from_samples([1, 2], samples[:, :2])
+        second = variable_from_samples([2, 3], samples[:, 1:])
+        chained = Decomposition(
+            Path([1, 2, 3]), (RelevantVariable(first, 0), RelevantVariable(second, 1))
+        )
+        chained_std = propagate_joint(chained).cost_histogram().std
+
+        units = [
+            variable_from_samples([dim], samples[:, i : i + 1]) for i, dim in enumerate([1, 2, 3])
+        ]
+        independent = Decomposition(
+            Path([1, 2, 3]), tuple(RelevantVariable(unit, i) for i, unit in enumerate(units))
+        )
+        independent_std = propagate_joint(independent).cost_histogram().std
+
+        assert abs(chained_std - true_std) < abs(independent_std - true_std)
+        assert independent_std < true_std  # independence underestimates the spread
+
+    def test_propagation_close_to_monte_carlo(self, rng):
+        """The deterministic propagation agrees with sampling from the same factors."""
+        samples = correlated_samples(rng, 1000, 4, rho=0.7)
+        first = variable_from_samples([1, 2, 3], samples[:, :3])
+        second = variable_from_samples([3, 4], samples[:, 2:])
+        decomposition = Decomposition(
+            Path([1, 2, 3, 4]), (RelevantVariable(first, 0), RelevantVariable(second, 2))
+        )
+        histogram = propagate_joint(decomposition).cost_histogram()
+
+        # Monte Carlo from the same two histograms, conditioning on edge 3's bucket.
+        joint_a = first.distribution
+        joint_b = second.distribution
+        draws = joint_a.sample(rng, 4000)
+        totals = []
+        for row in draws:
+            shared_bucket = joint_b.bucket_index_for(3, row[2])
+            indices, probs = joint_b.conditional_cells([3], [shared_bucket])
+            chosen = indices[rng.choice(indices.shape[0], p=probs)]
+            edges_4 = joint_b.boundaries_of(4)
+            low, high = edges_4[chosen[joint_b.axis_of(4)]], edges_4[chosen[joint_b.axis_of(4)] + 1]
+            totals.append(row.sum() + rng.uniform(low, high))
+        totals = np.asarray(totals)
+        assert histogram.mean == pytest.approx(totals.mean(), rel=0.03)
+        assert histogram.std == pytest.approx(totals.std(), rel=0.25)
+
+    def test_long_chain_of_overlapping_factors_stays_bounded(self, rng):
+        n_edges = 12
+        samples = correlated_samples(rng, 300, n_edges)
+        elements = []
+        for start in range(0, n_edges - 3):
+            edge_ids = list(range(start + 1, start + 5))
+            variable = variable_from_samples(edge_ids, samples[:, start : start + 4])
+            elements.append(RelevantVariable(variable, start))
+        decomposition = Decomposition(Path(range(1, n_edges + 1)), tuple(elements))
+        propagated = propagate_joint(decomposition, max_aggregate_buckets=16, max_state_cells=1024)
+        histogram = propagated.cost_histogram()
+        assert histogram.mean == pytest.approx(samples.sum(axis=1).mean(), rel=0.05)
+        assert histogram.n_buckets <= 64
+
+
+class TestEntropy:
+    def test_entropy_matches_sum_for_disjoint_factors(self, rng):
+        from repro import entropy_of_histogram
+
+        a = variable_from_samples([1], rng.normal(40, 4, size=(200, 1)))
+        b = variable_from_samples([2], rng.normal(70, 6, size=(200, 1)))
+        decomposition = Decomposition(
+            Path([1, 2]), (RelevantVariable(a, 0), RelevantVariable(b, 1))
+        )
+        expected = entropy_of_histogram(a.distribution) + entropy_of_histogram(b.distribution)
+        assert decomposition_entropy(decomposition) == pytest.approx(expected, rel=1e-9)
+
+    def test_coarser_decomposition_has_lower_entropy(self, rng):
+        """Theorem 2/3: the coarser (dependency-aware) estimate has lower H_DE."""
+        samples = correlated_samples(rng, 2000, 3, rho=0.9)
+        pair_a = variable_from_samples([1, 2], samples[:, :2])
+        pair_b = variable_from_samples([2, 3], samples[:, 1:])
+        coarse = Decomposition(
+            Path([1, 2, 3]), (RelevantVariable(pair_a, 0), RelevantVariable(pair_b, 1))
+        )
+        units = [
+            variable_from_samples([dim], samples[:, i : i + 1]) for i, dim in enumerate([1, 2, 3])
+        ]
+        fine = Decomposition(
+            Path([1, 2, 3]), tuple(RelevantVariable(unit, i) for i, unit in enumerate(units))
+        )
+        assert decomposition_entropy(coarse) < decomposition_entropy(fine)
+
+
+class TestMarginalCollapse:
+    def test_collapse_matches_figure7(self):
+        weighted = [
+            (Bucket(40, 70), 0.30),
+            (Bucket(50, 90), 0.25),
+            (Bucket(60, 90), 0.20),
+            (Bucket(70, 110), 0.25),
+        ]
+        histogram = collapse_to_cost_histogram(weighted)
+        assert histogram.prob_between(40, 50) == pytest.approx(0.1, abs=1e-6)
+        assert histogram.prob_between(90, 110) == pytest.approx(0.125, abs=1e-6)
+
+    def test_collapse_respects_bucket_cap(self, rng):
+        weighted = [
+            (Bucket(float(low), float(low) + 5.0), 1.0 / 200)
+            for low in rng.uniform(0, 1000, size=200)
+        ]
+        histogram = collapse_to_cost_histogram(weighted, max_buckets=32)
+        assert histogram.n_buckets <= 32
+
+    def test_collapse_empty_rejected(self):
+        with pytest.raises(EstimationError):
+            collapse_to_cost_histogram([])
+
+    def test_joint_to_cost_histogram(self, rng):
+        samples = correlated_samples(rng, 200, 2)
+        joint = MultiHistogram.from_samples(
+            [1, 2], samples, [list(np.linspace(samples[:, i].min(), samples[:, i].max() + 1, 4)) for i in range(2)]
+        )
+        histogram = joint_to_cost_histogram(joint)
+        assert histogram.mean == pytest.approx(joint.cost_distribution().mean)
+
+    def test_invalid_max_aggregate_buckets(self, rng):
+        samples = correlated_samples(rng, 100, 2)
+        variable = variable_from_samples([1, 2], samples)
+        decomposition = Decomposition(Path([1, 2]), (RelevantVariable(variable, 0),))
+        with pytest.raises(EstimationError):
+            propagate_joint(decomposition, max_aggregate_buckets=0)

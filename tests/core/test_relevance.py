@@ -1,0 +1,144 @@
+"""Unit tests for spatial/temporal relevance and the candidate array (Section 4.1.3)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Bucket,
+    EstimationError,
+    EstimatorParameters,
+    Histogram1D,
+    HybridGraph,
+    MultiHistogram,
+    Path,
+)
+from repro.core.relevance import (
+    build_candidate_array,
+    shift_and_enlarge,
+    updated_departure_interval,
+)
+from repro.core.variables import InstantiatedVariable
+from repro.timeutil import interval_of
+
+
+def unit_var(edge_id, interval_time, low, high):
+    interval = interval_of(interval_time, 30)
+    return InstantiatedVariable(
+        Path([edge_id]), interval, Histogram1D([Bucket(low, high)], [1.0]), support=30
+    )
+
+
+def pair_var(edge_ids, interval_time, low, high):
+    interval = interval_of(interval_time, 30)
+    joint = MultiHistogram.independent_product(
+        [
+            (edge_ids[0], Histogram1D([Bucket(low, high)], [1.0])),
+            (edge_ids[1], Histogram1D([Bucket(low, high)], [1.0])),
+        ]
+    )
+    return InstantiatedVariable(Path(list(edge_ids)), interval, joint, support=30)
+
+
+@pytest.fixture
+def corridor_path(small_network):
+    first = small_network.out_edges(0)[0]
+    second = next(
+        e for e in small_network.successors_of_edge(first.edge_id) if e.target != first.source
+    )
+    third = next(
+        e for e in small_network.successors_of_edge(second.edge_id) if e.target != second.source
+    )
+    return Path([first.edge_id, second.edge_id, third.edge_id])
+
+
+class TestShiftAndEnlarge:
+    def test_sae_adds_min_and_max(self):
+        variable = unit_var(1, 8 * 3600.0, 60.0, 120.0)
+        assert shift_and_enlarge((1000.0, 1000.0), variable) == (1060.0, 1120.0)
+
+    def test_sae_rejects_invalid_interval(self):
+        variable = unit_var(1, 8 * 3600.0, 60.0, 120.0)
+        with pytest.raises(EstimationError):
+            shift_and_enlarge((10.0, 5.0), variable)
+
+    def test_updated_departure_interval_progression(self, small_network, corridor_path):
+        graph = HybridGraph(small_network, EstimatorParameters())
+        departure = 8 * 3600.0
+        graph.add_variable(unit_var(corridor_path.edge_ids[0], departure, 30.0, 60.0))
+        graph.add_variable(unit_var(corridor_path.edge_ids[1], departure, 40.0, 80.0))
+        first = updated_departure_interval(graph, corridor_path, departure, 0)
+        second = updated_departure_interval(graph, corridor_path, departure, 1)
+        third = updated_departure_interval(graph, corridor_path, departure, 2)
+        assert first == (departure, departure)
+        assert second == (departure + 30.0, departure + 60.0)
+        assert third == (departure + 70.0, departure + 140.0)
+
+    def test_out_of_range_position_rejected(self, small_network, corridor_path):
+        graph = HybridGraph(small_network, EstimatorParameters())
+        with pytest.raises(EstimationError):
+            updated_departure_interval(graph, corridor_path, 0.0, 5)
+
+
+class TestCandidateArray:
+    def test_every_row_has_a_unit_variable(self, small_network, corridor_path):
+        graph = HybridGraph(small_network, EstimatorParameters())
+        array = build_candidate_array(graph, corridor_path, 8 * 3600.0)
+        assert len(array) == 3
+        for position in range(3):
+            assert any(rv.rank == 1 for rv in array.row(position))
+
+    def test_relevant_pair_variable_appears_in_first_row(self, small_network, corridor_path):
+        departure = 8 * 3600.0 + 300
+        graph = HybridGraph(small_network, EstimatorParameters())
+        graph.add_variable(pair_var(corridor_path.edge_ids[:2], departure, 40.0, 80.0))
+        array = build_candidate_array(graph, corridor_path, departure)
+        assert array.highest_rank(0).rank == 2
+
+    def test_temporally_irrelevant_variable_excluded(self, small_network, corridor_path):
+        departure = 8 * 3600.0
+        graph = HybridGraph(small_network, EstimatorParameters())
+        # The pair exists only for the 15:00 interval; querying at 08:00 must skip it.
+        graph.add_variable(pair_var(corridor_path.edge_ids[:2], 15 * 3600.0, 40.0, 80.0))
+        array = build_candidate_array(graph, corridor_path, departure)
+        assert array.highest_rank(0).rank == 1
+
+    def test_max_rank_cap(self, small_network, corridor_path):
+        departure = 8 * 3600.0
+        graph = HybridGraph(small_network, EstimatorParameters())
+        graph.add_variable(pair_var(corridor_path.edge_ids[:2], departure, 40.0, 80.0))
+        array = build_candidate_array(graph, corridor_path, departure, max_rank=1)
+        assert array.highest_rank(0).rank == 1
+
+    def test_variable_longer_than_remaining_path_excluded(self, small_network, corridor_path):
+        departure = 8 * 3600.0
+        graph = HybridGraph(small_network, EstimatorParameters())
+        graph.add_variable(pair_var(corridor_path.edge_ids[1:], departure, 40.0, 80.0))
+        # Query only the last edge: the pair starting at the middle edge is too long.
+        array = build_candidate_array(graph, Path([corridor_path.edge_ids[2]]), departure)
+        assert array.highest_rank(0).rank == 1
+
+    def test_shifted_interval_matches_later_interval_variable(self, small_network, corridor_path):
+        """A pair on edges 2-3 instantiated for the *next* interval is picked up
+
+        when the travel time on edge 1 pushes the arrival into that interval.
+        """
+        departure = 8 * 3600.0 + 28 * 60  # 08:28, near the end of the interval
+        graph = HybridGraph(small_network, EstimatorParameters())
+        graph.add_variable(unit_var(corridor_path.edge_ids[0], departure, 200.0, 400.0))
+        late_pair = pair_var(corridor_path.edge_ids[1:], 8 * 3600.0 + 35 * 60, 40.0, 80.0)
+        graph.add_variable(late_pair)
+        array = build_candidate_array(graph, corridor_path, departure)
+        assert array.highest_rank(1).variable is late_pair
+
+    def test_random_choice_uses_rng(self, small_network, corridor_path):
+        departure = 8 * 3600.0
+        graph = HybridGraph(small_network, EstimatorParameters())
+        graph.add_variable(pair_var(corridor_path.edge_ids[:2], departure, 40.0, 80.0))
+        array = build_candidate_array(graph, corridor_path, departure)
+        ranks = {array.random_choice(0, np.random.default_rng(seed)).rank for seed in range(10)}
+        assert ranks == {1, 2}
+
+    def test_total_variables_counts_all_rows(self, small_network, corridor_path):
+        graph = HybridGraph(small_network, EstimatorParameters())
+        array = build_candidate_array(graph, corridor_path, 8 * 3600.0)
+        assert array.total_variables() >= 3

@@ -1,0 +1,140 @@
+"""Unit tests for instantiated variables and the hybrid graph container."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Bucket,
+    EstimatorParameters,
+    Histogram1D,
+    HybridGraph,
+    InstantiationError,
+    MultiHistogram,
+    Path,
+)
+from repro.core.variables import SOURCE_SPEED_LIMIT, InstantiatedVariable
+from repro.timeutil import interval_of
+
+
+@pytest.fixture
+def interval():
+    return interval_of(8 * 3600.0, 30)
+
+
+@pytest.fixture
+def unit_variable(interval):
+    histogram = Histogram1D([Bucket(50, 70), Bucket(70, 100)], [0.6, 0.4])
+    return InstantiatedVariable(Path([3]), interval, histogram, support=40)
+
+
+@pytest.fixture
+def pair_variable(interval):
+    joint = MultiHistogram.from_dense(
+        [3, 4],
+        [[40.0, 60.0, 90.0], [30.0, 60.0]],
+        np.array([[0.5], [0.5]]),
+    )
+    return InstantiatedVariable(Path([3, 4]), interval, joint, support=35)
+
+
+class TestInstantiatedVariable:
+    def test_rank(self, unit_variable, pair_variable):
+        assert unit_variable.rank == 1
+        assert unit_variable.is_unit
+        assert pair_variable.rank == 2
+
+    def test_min_max_cost(self, unit_variable, pair_variable):
+        assert unit_variable.min_cost == 50
+        assert unit_variable.max_cost == 100
+        assert pair_variable.min_cost == 40 + 30
+        assert pair_variable.max_cost == 90 + 60
+
+    def test_cost_distribution(self, pair_variable):
+        cost = pair_variable.cost_distribution()
+        assert cost.probabilities.sum() == pytest.approx(1.0)
+        assert cost.min == 70
+        assert cost.max == 150
+
+    def test_joint_wraps_univariate(self, unit_variable):
+        joint = unit_variable.joint()
+        assert joint.dims == (3,)
+
+    def test_entropy_finite(self, unit_variable, pair_variable):
+        assert np.isfinite(unit_variable.entropy())
+        assert np.isfinite(pair_variable.entropy())
+
+    def test_dimension_mismatch_rejected(self, interval):
+        joint = MultiHistogram.from_dense(
+            [3, 5], [[0.0, 1.0], [0.0, 1.0]], np.array([[1.0]])
+        )
+        with pytest.raises(InstantiationError):
+            InstantiatedVariable(Path([3, 4]), interval, joint, support=35)
+
+    def test_multiedge_path_with_1d_distribution_rejected(self, interval):
+        histogram = Histogram1D.uniform(0, 10)
+        with pytest.raises(InstantiationError):
+            InstantiatedVariable(Path([3, 4]), interval, histogram, support=35)
+
+    def test_unknown_source_rejected(self, interval):
+        with pytest.raises(InstantiationError):
+            InstantiatedVariable(
+                Path([3]), interval, Histogram1D.uniform(0, 10), support=1, source="oracle"
+            )
+
+
+class TestHybridGraphContainer:
+    def test_add_and_lookup(self, small_network, unit_variable, pair_variable):
+        graph = HybridGraph(small_network, EstimatorParameters())
+        graph.add_variable(unit_variable)
+        graph.add_variable(pair_variable)
+        assert graph.num_variables() == 2
+        assert graph.weight(Path([3]), 8 * 3600.0) is unit_variable
+        assert graph.weight(Path([3]), 14 * 3600.0) is None
+        assert graph.weight(Path([3, 4]), 8 * 3600.0 + 600) is pair_variable
+
+    def test_duplicate_variable_rejected(self, small_network, unit_variable):
+        graph = HybridGraph(small_network, EstimatorParameters())
+        graph.add_variable(unit_variable)
+        with pytest.raises(InstantiationError):
+            graph.add_variable(unit_variable)
+
+    def test_variables_starting_with(self, small_network, unit_variable, pair_variable):
+        graph = HybridGraph(small_network, EstimatorParameters())
+        graph.add_variable(unit_variable)
+        graph.add_variable(pair_variable)
+        assert len(graph.variables_starting_with(3)) == 2
+        assert graph.variables_starting_with(4) == []
+
+    def test_unit_variable_fallback_from_speed_limit(self, small_network, interval):
+        graph = HybridGraph(small_network, EstimatorParameters())
+        edge = next(iter(small_network.edges()))
+        fallback = graph.unit_variable(edge.edge_id, interval)
+        assert fallback.source == SOURCE_SPEED_LIMIT
+        assert fallback.min_cost == pytest.approx(edge.free_flow_time_s)
+        # Cached: the same object is returned the second time.
+        assert graph.unit_variable(edge.edge_id, interval) is fallback
+
+    def test_counts_by_rank_and_coverage(self, small_network, unit_variable, pair_variable, interval):
+        graph = HybridGraph(small_network, EstimatorParameters())
+        graph.add_variable(unit_variable)
+        graph.add_variable(pair_variable)
+        counts = graph.counts_by_rank()
+        assert counts["1"] == 1
+        assert counts["2"] == 1
+        assert counts[">=4"] == 0
+        assert graph.covered_edges() == {3, 4}
+        assert graph.max_rank() == 2
+
+    def test_memory_usage_grows_with_variables(self, small_network, unit_variable, pair_variable):
+        graph = HybridGraph(small_network, EstimatorParameters())
+        graph.add_variable(unit_variable)
+        before = graph.memory_usage_bytes()
+        graph.add_variable(pair_variable)
+        assert graph.memory_usage_bytes() > before
+
+    def test_mean_entropy_by_rank(self, small_network, unit_variable, pair_variable):
+        graph = HybridGraph(small_network, EstimatorParameters())
+        graph.add_variable(unit_variable)
+        graph.add_variable(pair_variable)
+        entropies = graph.mean_entropy_by_rank()
+        assert set(entropies) == {"1", "2"}

@@ -1,0 +1,82 @@
+"""Unit tests for the synthetic road-network generators."""
+
+import pytest
+
+from repro import GraphError, aalborg_like, beijing_like, grid_network, ring_radial_city
+from repro.roadnet.routing import shortest_path
+
+
+class TestGrid:
+    def test_vertex_and_edge_counts(self):
+        network = grid_network(4, 5)
+        assert network.num_vertices == 20
+        # Horizontal: 4 rows x 4 edges x 2 directions; vertical: 5 cols x 3 x 2.
+        assert network.num_edges == (4 * 4 + 5 * 3) * 2
+
+    def test_one_way_grid(self):
+        network = grid_network(3, 3, bidirectional=False)
+        assert network.num_edges == (3 * 2 + 3 * 2)
+
+    def test_arterial_rows_have_higher_speed(self):
+        network = grid_network(5, 5, arterial_every=2)
+        speeds = {edge.category for edge in network.edges()}
+        assert speeds == {"arterial", "residential"}
+
+    def test_too_small_grid_rejected(self):
+        with pytest.raises(GraphError):
+            grid_network(1, 5)
+
+    def test_grid_is_strongly_connected_enough_for_routing(self):
+        network = grid_network(4, 4)
+        path = shortest_path(network, 0, 15)
+        assert path.cardinality >= 6  # at least the Manhattan distance
+
+
+class TestRingRadial:
+    def test_counts(self):
+        network = ring_radial_city(n_rings=2, n_radials=6)
+        assert network.num_vertices == 1 + 2 * 6
+        # radials: 6 spokes x 2 rings x 2 dirs; rings: 2 x 6 x 2 dirs.
+        assert network.num_edges == 6 * 2 * 2 + 2 * 6 * 2
+
+    def test_categories(self):
+        network = ring_radial_city(n_rings=2, n_radials=6)
+        assert {edge.category for edge in network.edges()} == {"arterial", "motorway"}
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(GraphError):
+            ring_radial_city(n_rings=0)
+        with pytest.raises(GraphError):
+            ring_radial_city(n_radials=2)
+
+    def test_routable_across_the_city(self):
+        network = ring_radial_city(n_rings=3, n_radials=8)
+        outer_a = 1 + 2 * 8 + 0
+        outer_b = 1 + 2 * 8 + 4
+        path = shortest_path(network, outer_a, outer_b)
+        assert path.cardinality >= 2
+
+
+class TestCityPresets:
+    def test_aalborg_like_has_all_categories(self):
+        network = aalborg_like(scale=0.25)
+        assert network.num_vertices >= 16
+        assert "residential" in {edge.category for edge in network.edges()}
+
+    def test_beijing_like_is_main_roads_only(self):
+        network = beijing_like(scale=0.5)
+        categories = {edge.category for edge in network.edges()}
+        assert "residential" not in categories
+        assert categories <= {"motorway", "arterial"}
+
+    def test_scale_increases_size(self):
+        small = aalborg_like(scale=0.25)
+        larger = aalborg_like(scale=1.0)
+        assert larger.num_vertices > small.num_vertices
+
+    def test_jitter_is_deterministic(self):
+        first = aalborg_like(scale=0.25, seed=5)
+        second = aalborg_like(scale=0.25, seed=5)
+        for v1, v2 in zip(first.vertices(), second.vertices()):
+            assert v1.location.x == v2.location.x
+            assert v1.location.y == v2.location.y

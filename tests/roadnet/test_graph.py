@@ -1,0 +1,120 @@
+"""Unit tests for the road-network graph model."""
+
+import pytest
+
+from repro import GraphError, RoadNetwork
+from repro.roadnet.graph import DEFAULT_SPEED_LIMITS_KMH
+
+
+@pytest.fixture
+def triangle() -> RoadNetwork:
+    network = RoadNetwork("triangle")
+    network.add_vertex(0, 0.0, 0.0)
+    network.add_vertex(1, 1000.0, 0.0)
+    network.add_vertex(2, 0.0, 1000.0)
+    network.add_edge(0, 1, category="arterial")
+    network.add_edge(1, 2, category="residential")
+    network.add_edge(2, 0, 500.0, 30.0, "residential")
+    return network
+
+
+class TestConstruction:
+    def test_vertices_and_edges_counted(self, triangle):
+        assert triangle.num_vertices == 3
+        assert triangle.num_edges == 3
+
+    def test_default_length_is_euclidean_distance(self, triangle):
+        edge = triangle.edge_between(0, 1)
+        assert edge.length_m == pytest.approx(1000.0)
+
+    def test_default_speed_from_category(self, triangle):
+        edge = triangle.edge_between(0, 1)
+        assert edge.speed_limit_kmh == DEFAULT_SPEED_LIMITS_KMH["arterial"]
+
+    def test_explicit_length_and_speed(self, triangle):
+        edge = triangle.edge_between(2, 0)
+        assert edge.length_m == 500.0
+        assert edge.speed_limit_kmh == 30.0
+
+    def test_readding_vertex_same_location_is_noop(self, triangle):
+        triangle.add_vertex(0, 0.0, 0.0)
+        assert triangle.num_vertices == 3
+
+    def test_readding_vertex_other_location_fails(self, triangle):
+        with pytest.raises(GraphError):
+            triangle.add_vertex(0, 5.0, 5.0)
+
+    def test_duplicate_edge_rejected(self, triangle):
+        with pytest.raises(GraphError):
+            triangle.add_edge(0, 1)
+
+    def test_self_loop_rejected(self, triangle):
+        with pytest.raises(GraphError):
+            triangle.add_edge(0, 0)
+
+    def test_edge_with_missing_endpoint_rejected(self, triangle):
+        with pytest.raises(GraphError):
+            triangle.add_edge(0, 99)
+
+    def test_nonpositive_length_rejected(self, triangle):
+        network = RoadNetwork()
+        network.add_vertex(0)
+        network.add_vertex(1, 10.0, 0.0)
+        with pytest.raises(GraphError):
+            network.add_edge(0, 1, length_m=-5.0)
+
+    def test_from_edge_list_roundtrip(self):
+        network = RoadNetwork.from_edge_list(
+            vertices=[(0, 0.0, 0.0), (1, 100.0, 0.0)],
+            edges=[(0, 1, 100.0, 50.0, "collector")],
+        )
+        assert network.num_edges == 1
+        assert network.edge_between(0, 1).length_m == 100.0
+
+
+class TestLookups:
+    def test_out_and_in_edges(self, triangle):
+        assert [e.target for e in triangle.out_edges(0)] == [1]
+        assert [e.source for e in triangle.in_edges(0)] == [2]
+
+    def test_successors_of_edge(self, triangle):
+        first = triangle.edge_between(0, 1)
+        successors = triangle.successors_of_edge(first.edge_id)
+        assert [e.target for e in successors] == [2]
+
+    def test_are_adjacent(self, triangle):
+        e01 = triangle.edge_between(0, 1).edge_id
+        e12 = triangle.edge_between(1, 2).edge_id
+        e20 = triangle.edge_between(2, 0).edge_id
+        assert triangle.are_adjacent(e01, e12)
+        assert not triangle.are_adjacent(e01, e20)
+
+    def test_unknown_vertex_raises(self, triangle):
+        with pytest.raises(GraphError):
+            triangle.vertex(99)
+
+    def test_unknown_edge_raises(self, triangle):
+        with pytest.raises(GraphError):
+            triangle.edge(99)
+
+    def test_edge_between_missing_returns_none(self, triangle):
+        assert triangle.edge_between(1, 0) is None
+
+    def test_free_flow_time(self, triangle):
+        edge = triangle.edge_between(2, 0)
+        assert edge.free_flow_time_s == pytest.approx(500.0 / (30.0 / 3.6))
+
+    def test_total_length(self, triangle):
+        assert triangle.total_length_m() == pytest.approx(
+            sum(edge.length_m for edge in triangle.edges())
+        )
+
+
+class TestNetworkxExport:
+    def test_to_networkx_preserves_attributes(self, triangle):
+        graph = triangle.to_networkx()
+        assert graph.number_of_nodes() == 3
+        assert graph.number_of_edges() == 3
+        attrs = graph.get_edge_data(0, 1)
+        assert attrs["category"] == "arterial"
+        assert attrs["length_m"] == pytest.approx(1000.0)

@@ -1,0 +1,102 @@
+"""Tests for the incremental estimator and the DFS stochastic router (Figure 18)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DFSStochasticRouter,
+    LegacyBaseline,
+    Path,
+    PathCostEstimator,
+    RoutingError,
+)
+from repro.routing.incremental import IncrementalCostEstimator
+
+
+class TestIncrementalEstimator:
+    def test_cache_hit_returns_same_object(self, hybrid_graph, busy_query):
+        path, departure = busy_query
+        incremental = IncrementalCostEstimator(PathCostEstimator(hybrid_graph))
+        first = incremental.estimate(path, departure)
+        second = incremental.estimate(path, departure)
+        assert first is second
+        assert incremental.cache_size() == 1
+
+    def test_extension_reuses_prefix(self, hybrid_graph, busy_query):
+        path, departure = busy_query
+        incremental = IncrementalCostEstimator(PathCostEstimator(hybrid_graph), refresh_every=10)
+        prefix = Path(path.edge_ids[:3])
+        extended = Path(path.edge_ids[:4])
+        incremental.estimate(prefix, departure)
+        estimate = incremental.estimate(extended, departure)
+        assert estimate.method.endswith("+inc")
+        # The extension's mean is the prefix mean plus (roughly) one edge cost.
+        prefix_estimate = incremental.estimate(prefix, departure)
+        assert estimate.mean > prefix_estimate.mean
+
+    def test_refresh_every_forces_full_estimates(self, hybrid_graph, busy_query):
+        path, departure = busy_query
+        incremental = IncrementalCostEstimator(PathCostEstimator(hybrid_graph), refresh_every=1)
+        incremental.estimate(Path(path.edge_ids[:2]), departure)
+        estimate = incremental.estimate(Path(path.edge_ids[:3]), departure)
+        assert not estimate.method.endswith("+inc")
+
+    def test_clear(self, hybrid_graph, busy_query):
+        path, departure = busy_query
+        incremental = IncrementalCostEstimator(PathCostEstimator(hybrid_graph))
+        incremental.estimate(path, departure)
+        incremental.clear()
+        assert incremental.cache_size() == 0
+
+    def test_invalid_refresh(self, hybrid_graph):
+        with pytest.raises(RoutingError):
+            IncrementalCostEstimator(PathCostEstimator(hybrid_graph), refresh_every=0)
+
+
+class TestDFSRouter:
+    @pytest.fixture(scope="class")
+    def router(self, small_network, hybrid_graph):
+        return DFSStochasticRouter(
+            small_network,
+            PathCostEstimator(hybrid_graph),
+            max_path_edges=18,
+            max_expansions=800,
+        )
+
+    def test_finds_route_with_generous_budget(self, router, small_network):
+        result = router.find_route(0, 27, 8 * 3600.0, budget_s=3600.0)
+        assert result.found
+        assert result.path.edge_ids[0] in {e.edge_id for e in small_network.out_edges(0)}
+        assert small_network.edge(result.path.edge_ids[-1]).target == 27
+        assert 0.0 < result.probability <= 1.0
+        assert result.paths_evaluated > 0
+
+    def test_route_path_is_valid(self, router, small_network):
+        result = router.find_route(0, 18, 8 * 3600.0, budget_s=3600.0)
+        assert result.found
+        result.path.validate(small_network)
+
+    def test_impossible_budget_gives_no_route(self, router):
+        result = router.find_route(0, 63, 8 * 3600.0, budget_s=1.0)
+        assert not result.found
+        assert result.probability == 0.0
+
+    def test_larger_budget_never_lowers_probability(self, router):
+        small = router.find_route(0, 18, 8 * 3600.0, budget_s=200.0)
+        large = router.find_route(0, 18, 8 * 3600.0, budget_s=2000.0)
+        assert large.probability >= small.probability
+
+    def test_different_estimators_find_routes(self, small_network, hybrid_graph):
+        lb_router = DFSStochasticRouter(
+            small_network, LegacyBaseline(hybrid_graph), max_path_edges=18, max_expansions=800
+        )
+        result = lb_router.find_route(0, 18, 8 * 3600.0, budget_s=3600.0)
+        assert result.found
+
+    def test_invalid_arguments(self, router, small_network, hybrid_graph):
+        with pytest.raises(RoutingError):
+            router.find_route(3, 3, 0.0, 100.0)
+        with pytest.raises(RoutingError):
+            router.find_route(0, 5, 0.0, -10.0)
+        with pytest.raises(RoutingError):
+            DFSStochasticRouter(small_network, PathCostEstimator(hybrid_graph), max_path_edges=0)

@@ -1,0 +1,57 @@
+"""Unit tests for probabilistic budget queries and stochastic dominance."""
+
+import pytest
+
+from repro import Bucket, Histogram1D, PathCostEstimator, RoutingError, k_shortest_paths
+from repro.routing.queries import ProbabilisticBudgetQuery, first_order_dominates
+
+
+class TestDominance:
+    def test_faster_distribution_dominates(self):
+        fast = Histogram1D([Bucket(10, 20)], [1.0])
+        slow = Histogram1D([Bucket(30, 40)], [1.0])
+        assert first_order_dominates(fast, slow)
+        assert not first_order_dominates(slow, fast)
+
+    def test_identical_distributions_do_not_dominate(self):
+        histogram = Histogram1D([Bucket(10, 20)], [1.0])
+        assert not first_order_dominates(histogram, histogram)
+
+    def test_crossing_cdfs_do_not_dominate(self):
+        tight = Histogram1D([Bucket(18, 22)], [1.0])
+        spread = Histogram1D([Bucket(10, 30)], [1.0])
+        assert not first_order_dominates(tight, spread)
+        assert not first_order_dominates(spread, tight)
+
+
+class TestBudgetQuery:
+    def test_figure1_scenario(self):
+        """P1 (mean 52, never above 60) beats P2 (mean 51.5, sometimes late)."""
+        p1 = Histogram1D([Bucket(48, 56)], [1.0])
+        p2 = Histogram1D([Bucket(40, 50), Bucket(50, 58), Bucket(58, 70)], [0.45, 0.45, 0.1])
+        assert p1.mean > p2.mean  # the mean alone would pick P2
+        query_budget = 60.0
+        assert p1.prob_at_most(query_budget) > p2.prob_at_most(query_budget)
+
+    def test_invalid_budget(self):
+        with pytest.raises(RoutingError):
+            ProbabilisticBudgetQuery(8 * 3600.0, 0.0)
+
+    def test_best_path_among_candidates(self, hybrid_graph, small_network, busy_query):
+        path, departure = busy_query
+        estimator = PathCostEstimator(hybrid_graph)
+        source = small_network.edge(path.edge_ids[0]).source
+        target = small_network.edge(path.edge_ids[-1]).target
+        candidates = k_shortest_paths(small_network, source, target, k=3)
+        query = ProbabilisticBudgetQuery(departure, budget=3600.0)
+        best, probability = query.best_path(estimator, candidates)
+        assert best in candidates
+        assert 0.0 <= probability <= 1.0
+        assert probability == pytest.approx(
+            max(query.probability(estimator, c) for c in candidates)
+        )
+
+    def test_best_path_requires_candidates(self, hybrid_graph):
+        query = ProbabilisticBudgetQuery(0.0, 100.0)
+        with pytest.raises(RoutingError):
+            query.best_path(PathCostEstimator(hybrid_graph), [])

@@ -1,0 +1,81 @@
+"""Unit tests for the configuration objects."""
+
+import pytest
+
+from repro import (
+    ConfigurationError,
+    EstimatorParameters,
+    ExperimentParameters,
+    SimulationParameters,
+)
+
+
+class TestEstimatorParameters:
+    def test_defaults_match_paper_table2(self):
+        parameters = EstimatorParameters()
+        assert parameters.alpha_minutes == 30
+        assert parameters.beta == 30
+
+    def test_intervals_per_day(self):
+        assert EstimatorParameters(alpha_minutes=30).intervals_per_day == 48
+        assert EstimatorParameters(alpha_minutes=120).intervals_per_day == 12
+
+    def test_alpha_must_divide_day(self):
+        with pytest.raises(ConfigurationError):
+            EstimatorParameters(alpha_minutes=37)
+        with pytest.raises(ConfigurationError):
+            EstimatorParameters(alpha_minutes=0)
+
+    def test_beta_positive(self):
+        with pytest.raises(ConfigurationError):
+            EstimatorParameters(beta=0)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ConfigurationError):
+            EstimatorParameters(bucket_error_drop_threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            EstimatorParameters(bucket_error_drop_threshold=1.5)
+
+    def test_invalid_max_rank(self):
+        with pytest.raises(ConfigurationError):
+            EstimatorParameters(max_rank=0)
+
+    def test_with_max_rank_copies(self):
+        base = EstimatorParameters(beta=45)
+        capped = base.with_max_rank(2)
+        assert capped.max_rank == 2
+        assert capped.beta == 45
+        assert base.max_rank is None
+
+
+class TestSimulationParameters:
+    def test_defaults_valid(self):
+        SimulationParameters()
+
+    def test_invalid_probability(self):
+        with pytest.raises(ConfigurationError):
+            SimulationParameters(congestion_probability=1.5)
+
+    def test_invalid_trip_edges(self):
+        with pytest.raises(ConfigurationError):
+            SimulationParameters(min_trip_edges=5, max_trip_edges=3)
+
+    def test_invalid_count(self):
+        with pytest.raises(ConfigurationError):
+            SimulationParameters(n_trajectories=0)
+
+
+class TestExperimentParameters:
+    def test_defaults_match_paper(self):
+        parameters = ExperimentParameters()
+        assert parameters.default_alpha_minutes == 30
+        assert parameters.default_beta == 30
+        assert 100 in parameters.query_cardinalities_without_ground_truth
+
+    def test_default_must_be_in_grid(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentParameters(default_beta=77)
+
+    def test_fractions_validated(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentParameters(dataset_fractions=(0.5, 1.5))

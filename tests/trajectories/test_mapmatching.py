@@ -1,0 +1,69 @@
+"""Unit tests for the HMM map matcher."""
+
+import numpy as np
+import pytest
+
+from repro import HMMMapMatcher, MapMatchingError, SimulationParameters, TrafficSimulator, Trajectory
+from repro.roadnet.spatial import Point
+from repro.trajectories.gps import GPSRecord
+
+
+@pytest.fixture(scope="module")
+def matcher(small_network) -> HMMMapMatcher:
+    return HMMMapMatcher(small_network, gps_noise_std_m=10.0, search_radius_m=150.0)
+
+
+@pytest.fixture(scope="module")
+def gps_and_truth(small_network):
+    params = SimulationParameters(
+        n_trajectories=10, popular_route_count=4, sampling_period_s=4.0, seed=13
+    )
+    simulator = TrafficSimulator(small_network, params)
+    return simulator.generate_gps(10)
+
+
+class TestMatching:
+    def test_matched_edges_are_mostly_connected(self, matcher, gps_and_truth, small_network):
+        gps, _ = gps_and_truth
+        matched = matcher.match(gps[0])
+        edge_ids = matched.edge_ids
+        assert len(edge_ids) >= 2
+        adjacent = [
+            small_network.are_adjacent(a, b) for a, b in zip(edge_ids[:-1], edge_ids[1:])
+        ]
+        assert np.mean(adjacent) > 0.8
+
+    def test_matched_edges_mostly_agree_with_truth(self, matcher, gps_and_truth):
+        gps, truth = gps_and_truth
+        agreements = []
+        for g, t in zip(gps[:5], truth[:5]):
+            matched = matcher.match(g)
+            true_edges = set(t.edge_ids)
+            found_edges = set(matched.edge_ids)
+            agreements.append(len(true_edges & found_edges) / len(true_edges))
+        assert np.mean(agreements) > 0.7
+
+    def test_match_path_convenience(self, matcher, gps_and_truth):
+        gps, _ = gps_and_truth
+        path = matcher.match_path(gps[1])
+        assert path.cardinality >= 1
+
+    def test_departure_time_close_to_truth(self, matcher, gps_and_truth):
+        gps, truth = gps_and_truth
+        matched = matcher.match(gps[0])
+        assert matched.departure_time_s == pytest.approx(truth[0].departure_time_s, abs=30.0)
+
+    def test_unmatchable_trajectory_raises(self, matcher):
+        far_away = Trajectory(
+            99,
+            [
+                GPSRecord(Point(1e7, 1e7), 0.0),
+                GPSRecord(Point(1e7 + 10, 1e7), 5.0),
+            ],
+        )
+        with pytest.raises(MapMatchingError):
+            matcher.match(far_away)
+
+    def test_invalid_parameters_rejected(self, small_network):
+        with pytest.raises(MapMatchingError):
+            HMMMapMatcher(small_network, gps_noise_std_m=0.0)
