@@ -1,0 +1,152 @@
+"""Service throughput: cold estimation vs. warm cached queries.
+
+Measures the online estimation service (:mod:`repro.service`) against
+direct :class:`PathCostEstimator` calls on a synthetic network:
+
+* **cold QPS** -- every query runs the full OI + JC + MC pipeline;
+* **warm QPS** -- the same workload repeated through the service, served
+  from the LRU result cache;
+* cache hit rate, per-layer statistics, and the cold/warm speedup.
+
+It also verifies the acceptance criteria: service results are numerically
+identical to direct estimator calls, and warm repeated-query latency is at
+least 5x lower than cold estimation.
+
+Run ``PYTHONPATH=src python benchmarks/bench_service_throughput.py`` (add
+``--preset tiny`` for the CI smoke configuration).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro import (
+    CostEstimationService,
+    EstimateRequest,
+    EstimatorParameters,
+    HybridGraphBuilder,
+    PathCostEstimator,
+    ServiceParameters,
+    SimulationParameters,
+    TrafficSimulator,
+    TrajectoryStore,
+    grid_network,
+)
+
+from _bench_utils import write_result
+
+PRESETS = {
+    "tiny": dict(grid=5, n_trajectories=250, beta=10, max_cardinality=4, repeats=5),
+    "default": dict(grid=8, n_trajectories=1000, beta=20, max_cardinality=5, repeats=10),
+}
+
+
+def build_workload(simulator, store, max_queries: int, alpha_minutes: int):
+    """Queries along the simulated corridors, distinct per service cache key."""
+    queries = []
+    seen = set()
+    for route in simulator.popular_routes:
+        departure = route.busy_hour * 3600.0
+        for length in range(2, len(route.path) + 1):
+            path = route.path.prefix(length)
+            key = (path.edge_ids, int(departure // (alpha_minutes * 60.0)))
+            if key not in seen:
+                seen.add(key)
+                queries.append((path, departure))
+    queries.sort(key=lambda q: (-store.count_on(q[0]), q[0].edge_ids))
+    return queries[:max_queries]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--preset", choices=sorted(PRESETS), default="default")
+    parser.add_argument("--queries", type=int, default=40, help="distinct queries in the workload")
+    parser.add_argument("--workers", type=int, default=0, help="thread-pool size for batch passes")
+    args = parser.parse_args(argv)
+    if args.workers < 0:
+        parser.error(f"--workers must be >= 0, got {args.workers}")
+    preset = PRESETS[args.preset]
+
+    network = grid_network(
+        preset["grid"], preset["grid"], block_length_m=220.0, arterial_every=3, name="bench-city"
+    )
+    simulator = TrafficSimulator(
+        network,
+        SimulationParameters(n_trajectories=preset["n_trajectories"], popular_route_count=10, seed=7),
+    )
+    store = TrajectoryStore(simulator.generate())
+    parameters = EstimatorParameters(beta=preset["beta"])
+    hybrid_graph = HybridGraphBuilder(
+        network, parameters, max_cardinality=preset["max_cardinality"]
+    ).build(store)
+    estimator = PathCostEstimator(hybrid_graph)
+    queries = build_workload(simulator, store, args.queries, parameters.alpha_minutes)
+    if not queries:
+        print("no queries in workload", file=sys.stderr)
+        return 1
+    repeats = preset["repeats"]
+
+    # -- cold: direct estimator calls, no caching anywhere. ------------- #
+    started = time.perf_counter()
+    direct = [estimator.estimate(path, departure) for path, departure in queries]
+    cold_elapsed = time.perf_counter() - started
+    cold_qps = len(queries) / cold_elapsed
+    cold_latency = cold_elapsed / len(queries)
+
+    # -- service: one cold pass, then warm repeats of the same workload. #
+    service = CostEstimationService(
+        estimator, ServiceParameters(max_workers=args.workers)
+    )
+    requests = [EstimateRequest(path, departure) for path, departure in queries]
+    started = time.perf_counter()
+    first_pass = service.submit_batch(requests)
+    service_cold_elapsed = time.perf_counter() - started
+
+    started = time.perf_counter()
+    for _ in range(repeats):
+        warm_pass = service.submit_batch(requests)
+    warm_elapsed = time.perf_counter() - started
+    n_warm = repeats * len(queries)
+    warm_qps = n_warm / warm_elapsed
+    warm_latency = warm_elapsed / n_warm
+
+    # -- acceptance: numerical identity and >= 5x warm speedup. --------- #
+    for direct_estimate, response in zip(direct, first_pass):
+        assert np.array_equal(
+            direct_estimate.histogram.probabilities, response.histogram.probabilities
+        ), "service result diverged from direct estimate"
+        assert [
+            (b.lower, b.upper) for b in direct_estimate.histogram.buckets
+        ] == [(b.lower, b.upper) for b in response.histogram.buckets]
+    for response in warm_pass:
+        assert response.cache_hit, "warm pass missed the cache"
+    speedup = cold_latency / warm_latency
+    assert speedup >= 5.0, f"warm speedup only {speedup:.1f}x (need >= 5x)"
+
+    stats = service.stats()
+    results = stats["result_cache"]
+    lines = [
+        f"service throughput ({args.preset}: {preset['grid']}x{preset['grid']} grid, "
+        f"{len(store)} trajectories, {len(queries)} distinct queries, {repeats} warm repeats)",
+        "",
+        f"cold estimator   : {cold_qps:10.1f} QPS   ({cold_latency * 1e3:8.3f} ms/query)",
+        f"service cold pass: {len(queries) / service_cold_elapsed:10.1f} QPS",
+        f"service warm     : {warm_qps:10.1f} QPS   ({warm_latency * 1e3:8.3f} ms/query)",
+        f"warm speedup     : {speedup:10.1f} x  (acceptance: >= 5x)",
+        "",
+        f"result cache     : hit rate {results.hit_rate:.3f} "
+        f"({results.hits} hits / {results.misses} misses, size {results.size}/{results.capacity})",
+        f"decomposition    : {stats['decomposition_cache']}",
+        f"served / computed: {stats['served']} / {stats['computed']}",
+        "service results numerically identical to direct estimates: yes",
+    ]
+    write_result("service_throughput", "\n".join(lines))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,16 +10,19 @@ The public API re-exports the pieces a typical user needs:
   :class:`TrajectoryStore`, :class:`HMMMapMatcher`),
 * the hybrid graph and its estimators (:class:`HybridGraphBuilder`,
   :class:`HybridGraph`, :class:`PathCostEstimator`, the baselines),
-* histograms (:class:`Histogram1D`, :class:`MultiHistogram`), and
-* stochastic routing (:class:`DFSStochasticRouter`).
+* histograms (:class:`Histogram1D`, :class:`MultiHistogram`),
+* stochastic routing (:class:`DFSStochasticRouter`), and
+* the online estimation service (:class:`CostEstimationService`).
 """
 
 from .config import (
     DEFAULT_ESTIMATOR_PARAMETERS,
     DEFAULT_EXPERIMENT_PARAMETERS,
+    DEFAULT_SERVICE_PARAMETERS,
     DEFAULT_SIMULATION_PARAMETERS,
     EstimatorParameters,
     ExperimentParameters,
+    ServiceParameters,
     SimulationParameters,
 )
 from .exceptions import (
@@ -32,6 +35,7 @@ from .exceptions import (
     PathError,
     ReproError,
     RoutingError,
+    ServiceError,
     TrajectoryError,
 )
 from .timeutil import TimeInterval, all_intervals, format_time, interval_of, parse_time
@@ -77,19 +81,32 @@ from .core import (
     RandomDecompositionEstimator,
 )
 from .routing import DFSStochasticRouter, IncrementalCostEstimator, ProbabilisticBudgetQuery
+from .service import (
+    CacheStats,
+    CostEstimationService,
+    EstimateRequest,
+    EstimateResponse,
+    LRUCache,
+    WarmupReport,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AccuracyOptimalEstimator",
     "Bucket",
+    "CacheStats",
     "ConfigurationError",
     "CostEstimate",
+    "CostEstimationService",
     "DEFAULT_ESTIMATOR_PARAMETERS",
     "DEFAULT_EXPERIMENT_PARAMETERS",
+    "DEFAULT_SERVICE_PARAMETERS",
     "DEFAULT_SIMULATION_PARAMETERS",
     "DFSStochasticRouter",
     "Edge",
+    "EstimateRequest",
+    "EstimateResponse",
     "EstimationError",
     "EstimatorParameters",
     "ExperimentParameters",
@@ -103,6 +120,7 @@ __all__ = [
     "IncrementalCostEstimator",
     "InstantiatedVariable",
     "InstantiationError",
+    "LRUCache",
     "LegacyBaseline",
     "MapMatchingError",
     "MatchedTrajectory",
@@ -117,6 +135,8 @@ __all__ = [
     "ReproError",
     "RoadNetwork",
     "RoutingError",
+    "ServiceError",
+    "ServiceParameters",
     "SimulationParameters",
     "TimeInterval",
     "TrafficSimulator",
@@ -124,6 +144,7 @@ __all__ = [
     "TrajectoryError",
     "TrajectoryStore",
     "Vertex",
+    "WarmupReport",
     "aalborg_like",
     "all_intervals",
     "beijing_like",

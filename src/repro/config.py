@@ -112,6 +112,84 @@ class EstimatorParameters:
 
 
 @dataclass(frozen=True)
+class ServiceParameters:
+    """Parameters for the online cost-estimation service (:mod:`repro.service`).
+
+    Attributes
+    ----------
+    result_cache_capacity:
+        Maximum number of finished :class:`~repro.core.estimator.CostEstimate`
+        results kept in the LRU result cache.
+    decomposition_cache_capacity:
+        Maximum number of propagated joints (the output of the OI + JC
+        steps) kept in the LRU decomposition cache.  Entries here let a
+        result-cache miss skip straight to the cheap marginalisation step.
+    max_workers:
+        Thread-pool size used by batch submission; ``0`` executes batches
+        synchronously on the calling thread.
+    default_method:
+        Estimation method used when a request does not override it: ``"OD"``
+        (coarsest decomposition, no rank cap), ``"OD-<k>"`` (rank capped at
+        ``k``), or ``"RD"`` (random decomposition).  ``None`` (the default)
+        uses the wrapped estimator's own method, so the service is a
+        drop-in for whatever estimator it fronts.
+    warmup_top_paths:
+        Number of most-traveled paths seeded into the cache by the warmup
+        pass.
+    warmup_max_cardinality:
+        Largest path cardinality considered when ranking most-traveled
+        paths for warmup.
+    warmup_intervals_per_path:
+        Number of busiest alpha-intervals precomputed per warmup path.
+    """
+
+    result_cache_capacity: int = 4096
+    decomposition_cache_capacity: int = 1024
+    max_workers: int = 0
+    default_method: str | None = None
+    warmup_top_paths: int = 16
+    warmup_max_cardinality: int = 4
+    warmup_intervals_per_path: int = 4
+
+    def __post_init__(self) -> None:
+        if self.result_cache_capacity < 1:
+            raise ConfigurationError(
+                f"result_cache_capacity must be >= 1, got {self.result_cache_capacity}"
+            )
+        if self.decomposition_cache_capacity < 1:
+            raise ConfigurationError(
+                f"decomposition_cache_capacity must be >= 1, got {self.decomposition_cache_capacity}"
+            )
+        if self.max_workers < 0:
+            raise ConfigurationError(f"max_workers must be >= 0, got {self.max_workers}")
+        if self.default_method is not None and not _valid_method_name(self.default_method):
+            raise ConfigurationError(
+                f"default_method must be 'OD', 'OD-<k>', 'RD' or None, got {self.default_method!r}"
+            )
+        if self.warmup_top_paths < 1:
+            raise ConfigurationError(f"warmup_top_paths must be >= 1, got {self.warmup_top_paths}")
+        if self.warmup_max_cardinality < 1:
+            raise ConfigurationError(
+                f"warmup_max_cardinality must be >= 1, got {self.warmup_max_cardinality}"
+            )
+        if self.warmup_intervals_per_path < 1:
+            raise ConfigurationError(
+                "warmup_intervals_per_path must be >= 1, got "
+                f"{self.warmup_intervals_per_path}"
+            )
+
+
+def _valid_method_name(method: str) -> bool:
+    """True for the method names the service understands: OD, OD-<k>, RD."""
+    if method in ("OD", "RD"):
+        return True
+    if method.startswith("OD-"):
+        suffix = method[3:]
+        return suffix.isdigit() and int(suffix) >= 1
+    return False
+
+
+@dataclass(frozen=True)
 class SimulationParameters:
     """Parameters for the synthetic traffic / trajectory generator.
 
@@ -186,5 +264,6 @@ class ExperimentParameters:
 
 
 DEFAULT_ESTIMATOR_PARAMETERS = EstimatorParameters()
+DEFAULT_SERVICE_PARAMETERS = ServiceParameters()
 DEFAULT_SIMULATION_PARAMETERS = SimulationParameters()
 DEFAULT_EXPERIMENT_PARAMETERS = ExperimentParameters()

@@ -17,7 +17,7 @@ choosing the ``"random"`` decomposition strategy.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -27,8 +27,7 @@ from ..histograms.univariate import Histogram1D
 from ..roadnet.path import Path
 from .decomposition import Decomposition, coarsest_decomposition, random_decomposition
 from .hybrid_graph import HybridGraph
-from .joint import propagate_joint
-from .marginal import collapse_to_cost_histogram
+from .joint import PropagatedJoint, propagate_joint
 from .relevance import build_candidate_array
 
 
@@ -99,6 +98,7 @@ class PathCostEstimator:
         self.decomposition_strategy = decomposition_strategy
         self.max_aggregate_buckets = max_aggregate_buckets
         self.output_buckets = output_buckets
+        self.seed = seed
         self._rng = np.random.default_rng(seed)
 
     @property
@@ -119,6 +119,35 @@ class PathCostEstimator:
             return random_decomposition(candidate_array, self._rng)
         return coarsest_decomposition(candidate_array)
 
+    def propagate(self, path: Path, departure_time_s: float) -> PropagatedJoint:
+        """Run the OI and JC steps only, returning the propagated joint.
+
+        The result can be collapsed into a cost estimate with
+        :meth:`estimate_from_joint`; splitting the pipeline this way lets a
+        caller (e.g. the online estimation service) cache the propagated
+        joint and re-run only the cheap marginalisation step.
+        """
+        if len(path) < 1:
+            raise EstimationError("the query path must contain at least one edge")
+        decomposition = self.select_decomposition(path, departure_time_s)
+        return propagate_joint(decomposition, max_aggregate_buckets=self.max_aggregate_buckets)
+
+    def estimate_from_joint(
+        self,
+        propagated: PropagatedJoint,
+        path: Path,
+        departure_time_s: float,
+    ) -> CostEstimate:
+        """The MC step: collapse a propagated joint into a :class:`CostEstimate`."""
+        return CostEstimate(
+            path=path,
+            departure_time_s=departure_time_s,
+            histogram=propagated.cost_histogram(self.output_buckets),
+            method=self.method_name,
+            decomposition=propagated.decomposition,
+            entropy=propagated.entropy,
+        )
+
     def estimate(self, path: Path, departure_time_s: float) -> CostEstimate:
         """Estimate the travel cost distribution of ``path`` at ``departure_time_s``."""
         if len(path) < 1:
@@ -128,17 +157,10 @@ class PathCostEstimator:
         after_oi = time.perf_counter()
         propagated = propagate_joint(decomposition, max_aggregate_buckets=self.max_aggregate_buckets)
         after_jc = time.perf_counter()
-        histogram = collapse_to_cost_histogram(
-            list(propagated.weighted_buckets), max_buckets=self.output_buckets
-        )
+        estimate = self.estimate_from_joint(propagated, path, departure_time_s)
         after_mc = time.perf_counter()
-        return CostEstimate(
-            path=path,
-            departure_time_s=departure_time_s,
-            histogram=histogram,
-            method=self.method_name,
-            decomposition=decomposition,
-            entropy=propagated.entropy,
+        return replace(
+            estimate,
             timings_s={
                 "oi": after_oi - started,
                 "jc": after_jc - after_oi,
@@ -159,4 +181,5 @@ class PathCostEstimator:
             decomposition_strategy=self.decomposition_strategy,
             max_aggregate_buckets=self.max_aggregate_buckets,
             output_buckets=self.output_buckets,
+            seed=self.seed,
         )

@@ -44,5 +44,9 @@ class RoutingError(ReproError):
     """Raised by the stochastic routing algorithms."""
 
 
+class ServiceError(ReproError):
+    """Raised by the online cost-estimation service for invalid requests."""
+
+
 class ConfigurationError(ReproError):
     """Raised for invalid parameter values in configuration objects."""

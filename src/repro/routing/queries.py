@@ -28,13 +28,19 @@ def first_order_dominates(first: Histogram1D, second: Histogram1D, n_points: int
     """True when ``first`` first-order stochastically dominates ``second``.
 
     ``first`` dominates ``second`` when its CDF is everywhere at least as
-    large (it is "faster" in probability at every budget).  The test is
-    evaluated on a grid spanning both supports.
+    large (it is "faster" in probability at every budget), and strictly
+    larger somewhere.  The test is evaluated on a grid spanning both
+    supports.
+
+    Dominance is strict, so it is irreflexive: when the combined support is
+    degenerate (``high <= low``), both histograms are the same point mass
+    and neither dominates the other -- the test returns ``False``
+    symmetrically rather than letting argument order decide.
     """
     low = min(first.min, second.min)
     high = max(first.max, second.max)
     if high <= low:
-        return True
+        return False
     step = (high - low) / max(1, n_points - 1)
     points = [low + i * step for i in range(n_points)]
     strictly_better_somewhere = False
@@ -64,6 +70,23 @@ class ProbabilisticBudgetQuery:
         estimate = estimator.estimate(path, self.departure_time_s)
         return estimate.histogram.prob_at_most(self.budget)
 
+    def probabilities(
+        self, estimator: SupportsEstimate, candidates: Sequence[Path]
+    ) -> list[float]:
+        """P(cost <= budget) for every candidate, in input order.
+
+        Estimators that expose an ``estimate_batch(paths, departure_time_s)``
+        method (e.g. :class:`~repro.service.CostEstimationService`) are asked
+        for all candidates at once, so shared sub-work across the candidate
+        set is deduplicated and cached; plain estimators are queried one
+        path at a time.
+        """
+        batch = getattr(estimator, "estimate_batch", None)
+        if callable(batch):
+            estimates = batch(list(candidates), self.departure_time_s)
+            return [estimate.histogram.prob_at_most(self.budget) for estimate in estimates]
+        return [self.probability(estimator, candidate) for candidate in candidates]
+
     def best_path(
         self, estimator: SupportsEstimate, candidates: Sequence[Path]
     ) -> tuple[Path, float]:
@@ -77,8 +100,7 @@ class ProbabilisticBudgetQuery:
             raise RoutingError("need at least one candidate path")
         best_path: Path | None = None
         best_probability = -1.0
-        for candidate in candidates:
-            probability = self.probability(estimator, candidate)
+        for candidate, probability in zip(candidates, self.probabilities(estimator, candidates)):
             if probability > best_probability:
                 best_probability = probability
                 best_path = candidate

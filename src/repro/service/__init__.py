@@ -1,0 +1,41 @@
+"""Online path-cost estimation service (caching, batching, precomputation).
+
+The subsystem that turns the cold-query estimator into an interactive
+serving layer:
+
+* :class:`CostEstimationService` -- typed request/response API, bounded LRU
+  result + decomposition caches, batch dedup, warmup;
+* :class:`EstimateRequest` / :class:`EstimateResponse` -- the service API;
+* :class:`LRUCache` / :class:`CacheStats` -- the bounded cache primitive;
+* :class:`BatchExecutor` -- dedup + optional thread-pool fan-out;
+* :func:`warmup_from_store` / :class:`WarmupReport` -- precomputation.
+"""
+
+from .batch import BatchExecutor
+from .cache import CacheStats, LRUCache
+from .requests import (
+    SOURCE_BATCH_DEDUP,
+    SOURCE_COMPUTED,
+    SOURCE_DECOMPOSITION_CACHE,
+    SOURCE_RESULT_CACHE,
+    EstimateRequest,
+    EstimateResponse,
+)
+from .service import CostEstimationService
+from .warmup import WarmupReport, most_traveled_paths, warmup_from_store
+
+__all__ = [
+    "BatchExecutor",
+    "CacheStats",
+    "CostEstimationService",
+    "EstimateRequest",
+    "EstimateResponse",
+    "LRUCache",
+    "SOURCE_BATCH_DEDUP",
+    "SOURCE_COMPUTED",
+    "SOURCE_DECOMPOSITION_CACHE",
+    "SOURCE_RESULT_CACHE",
+    "WarmupReport",
+    "most_traveled_paths",
+    "warmup_from_store",
+]

@@ -1,0 +1,59 @@
+"""Batch execution: dedup shared work, optionally fan out on a thread pool.
+
+A candidate set submitted together (the paper's Figure 1(a) scenario: a few
+alternative paths for the same trip) often repeats work -- identical
+requests, or requests that collapse onto the same cache key because they
+fall into the same alpha-interval.  The executor runs each distinct piece
+of work exactly once and shares the result with every requester.
+
+Execution order is deterministic for the synchronous executor; with a
+thread pool the *results* are still deterministic for the deterministic
+("coarsest") decomposition strategy because each work item is a pure
+function of its key.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Hashable, Mapping, TypeVar
+
+from ..exceptions import ServiceError
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+class BatchExecutor:
+    """Executes a mapping of keyed work items, each exactly once.
+
+    ``max_workers == 0`` runs the work synchronously on the calling thread;
+    any larger value fans out on a :class:`ThreadPoolExecutor` of at most
+    that many threads.
+    """
+
+    def __init__(self, max_workers: int = 0) -> None:
+        if max_workers < 0:
+            raise ServiceError(f"max_workers must be >= 0, got {max_workers}")
+        self.max_workers = max_workers
+
+    def execute(self, work: Mapping[K, Callable[[], V]]) -> dict[K, tuple[V, float]]:
+        """Run every thunk once; returns ``key -> (result, duration_s)``.
+
+        Exceptions raised by a thunk propagate to the caller (after the
+        pool, if any, has drained).
+        """
+        if not work:
+            return {}
+        if self.max_workers > 0 and len(work) > 1:
+            n_threads = min(self.max_workers, len(work))
+            with ThreadPoolExecutor(max_workers=n_threads) as pool:
+                futures = {key: pool.submit(_timed, thunk) for key, thunk in work.items()}
+                return {key: future.result() for key, future in futures.items()}
+        return {key: _timed(thunk) for key, thunk in work.items()}
+
+
+def _timed(thunk: Callable[[], V]) -> tuple[V, float]:
+    started = time.perf_counter()
+    result = thunk()
+    return result, time.perf_counter() - started

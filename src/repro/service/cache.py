@@ -1,0 +1,141 @@
+"""Bounded, thread-safe LRU caches for the estimation service.
+
+The service keeps two of these: a *result cache* holding finished
+:class:`~repro.core.estimator.CostEstimate` objects and a *decomposition
+cache* holding propagated joints (the output of the OI + JC steps).  Both
+are capacity-bounded so the service's memory stays flat under heavy,
+diverse traffic -- the motivation mirrors bounded-memory operator design in
+database systems: degrade gracefully (recompute) instead of growing without
+limit.
+
+Statistics (hits, misses, evictions) are recorded per cache so operators
+can size capacities from observed hit rates.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Generic, Hashable, Iterator, TypeVar
+
+from ..exceptions import ServiceError
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+#: Sentinel distinguishing "missing" from a cached ``None``.
+_MISSING = object()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A point-in-time snapshot of a cache's counters."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    capacity: int
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when never queried)."""
+        if self.requests == 0:
+            return 0.0
+        return self.hits / self.requests
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"CacheStats(hits={self.hits}, misses={self.misses}, "
+            f"evictions={self.evictions}, size={self.size}/{self.capacity}, "
+            f"hit_rate={self.hit_rate:.2f})"
+        )
+
+
+class LRUCache(Generic[K, V]):
+    """A capacity-bounded mapping with least-recently-used eviction.
+
+    All operations take an internal lock, so a cache may be shared by the
+    batch executor's worker threads.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ServiceError(f"cache capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._entries: OrderedDict[K, V] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: K) -> bool:
+        """Membership test; does not touch recency or statistics."""
+        with self._lock:
+            return key in self._entries
+
+    def keys(self) -> Iterator[K]:
+        """The cached keys, least- to most-recently used (a snapshot)."""
+        with self._lock:
+            return iter(list(self._entries.keys()))
+
+    def get(self, key: K, default: V | None = None) -> V | None:
+        """The cached value (marking it most recently used), else ``default``."""
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            if value is _MISSING:
+                self._misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def peek(self, key: K, default: V | None = None) -> V | None:
+        """Like :meth:`get` but without touching recency or statistics."""
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            return default if value is _MISSING else value
+
+    def put(self, key: K, value: V) -> None:
+        """Insert or refresh an entry, evicting the LRU entry when full."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._entries[key] = value
+                return
+            if len(self._entries) >= self._capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+            self._entries[key] = value
+
+    def clear(self) -> None:
+        """Drop every entry (statistics are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> CacheStats:
+        """A consistent snapshot of the counters."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._entries),
+                capacity=self._capacity,
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"LRUCache({len(self)}/{self._capacity})"

@@ -1,0 +1,104 @@
+"""Typed request / response objects of the estimation service API.
+
+A client submits :class:`EstimateRequest` objects -- one per (path,
+departure time) query, optionally overriding the estimation method or rank
+cap per request -- and receives :class:`EstimateResponse` objects that wrap
+the :class:`~repro.core.estimator.CostEstimate` together with serving
+metadata (cache hit, which layer answered, latency).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..config import _valid_method_name
+from ..core.estimator import CostEstimate
+from ..exceptions import ServiceError
+from ..roadnet.path import Path
+
+#: Response ``source`` values, from cheapest to most expensive.
+SOURCE_RESULT_CACHE = "result-cache"
+SOURCE_BATCH_DEDUP = "batch-dedup"
+SOURCE_DECOMPOSITION_CACHE = "decomposition-cache"
+SOURCE_COMPUTED = "computed"
+
+
+@dataclass(frozen=True)
+class EstimateRequest:
+    """One path-cost query submitted to the service.
+
+    Attributes
+    ----------
+    path, departure_time_s:
+        The query, as in :meth:`PathCostEstimator.estimate`.
+    method:
+        Per-request method override: ``"OD"``, ``"OD-<k>"`` or ``"RD"``.
+        ``None`` uses the service's default method.
+    max_rank:
+        Per-request rank-cap override.  Shorthand for ``method="OD-<k>"``;
+        may not be combined with an explicit ``method``.
+    """
+
+    path: Path
+    departure_time_s: float
+    method: str | None = None
+    max_rank: int | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.path, Path):
+            raise ServiceError(f"request path must be a Path, got {type(self.path).__name__}")
+        if not math.isfinite(self.departure_time_s):
+            raise ServiceError(f"departure_time_s must be finite, got {self.departure_time_s}")
+        if self.method is not None and not _valid_method_name(self.method):
+            raise ServiceError(f"method must be 'OD', 'OD-<k>' or 'RD', got {self.method!r}")
+        if self.max_rank is not None:
+            if self.max_rank < 1:
+                raise ServiceError(f"max_rank must be >= 1 or None, got {self.max_rank}")
+            if self.method is not None:
+                raise ServiceError("give either method or max_rank, not both")
+
+    def resolved_method(self, default_method: str) -> str:
+        """The concrete method name this request should run under."""
+        if self.method is not None:
+            return self.method
+        if self.max_rank is not None:
+            return f"OD-{self.max_rank}"
+        return default_method
+
+
+@dataclass(frozen=True)
+class EstimateResponse:
+    """A served estimate plus metadata about how it was produced.
+
+    ``source`` records which layer answered: ``"result-cache"`` (finished
+    estimate found), ``"batch-dedup"`` (another request in the same batch
+    computed it), ``"decomposition-cache"`` (cached propagated joint, only
+    the marginalisation re-ran), or ``"computed"`` (full OI + JC + MC).
+    ``cache_hit`` is ``True`` for everything except ``"computed"``.
+    """
+
+    request: EstimateRequest
+    estimate: CostEstimate
+    method: str
+    cache_hit: bool
+    source: str
+    latency_s: float
+
+    @property
+    def histogram(self):
+        return self.estimate.histogram
+
+    @property
+    def mean(self) -> float:
+        return self.estimate.mean
+
+    def prob_within(self, budget: float) -> float:
+        """Probability of completing the path within ``budget`` cost units."""
+        return self.estimate.prob_within(budget)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"EstimateResponse({self.method}, |P|={len(self.request.path)}, "
+            f"source={self.source}, latency={self.latency_s * 1e3:.2f}ms)"
+        )

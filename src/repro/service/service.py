@@ -1,0 +1,370 @@
+"""The online path-cost estimation service.
+
+:class:`CostEstimationService` sits in front of a
+:class:`~repro.core.estimator.PathCostEstimator` and serves interactive
+routing traffic:
+
+* a bounded LRU **result cache** keyed by ``(path edges, alpha-interval of
+  the departure time, method)`` answers repeated queries without re-running
+  the OI / JC / MC pipeline;
+* a bounded LRU **decomposition cache** keeps the propagated joint (the
+  OI + JC output) under the same key, so a result-cache miss -- or a batch
+  of distinct budget queries over the same path -- re-runs only the cheap
+  marginalisation step;
+* a **batch executor** deduplicates shared work across a candidate set (the
+  Figure 1(a) scenario) and can fan out on a thread pool;
+* a **warmup pass** (:meth:`CostEstimationService.warmup`) precomputes the
+  trajectory store's most-traveled paths so the cache is hot before the
+  first user query.
+
+Caching granularity: the result key buckets the departure time into the
+alpha-interval containing it, mirroring the hybrid graph's own temporal
+granularity.  The first query in a bucket computes with its exact departure
+time and the result is shared with every later same-bucket query; an exact
+repeat of a query is therefore numerically identical to a direct
+:meth:`PathCostEstimator.estimate` call, while a same-bucket query at a
+different time receives the bucket representative's estimate (the same
+trade the paper makes when it instantiates variables per alpha-interval).
+
+The deterministic ``"OD"`` / ``"OD-<k>"`` methods produce identical results
+regardless of batch order or thread count; ``"RD"`` draws from a shared RNG
+(serialised by a lock under the thread pool) and is only reproducible
+query-by-query on a fresh service.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import replace
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from ..config import ServiceParameters
+from ..core.estimator import CostEstimate, PathCostEstimator
+from ..core.hybrid_graph import HybridGraph
+from ..core.joint import PropagatedJoint
+from ..exceptions import ServiceError
+from ..roadnet.path import Path
+from ..timeutil import interval_of
+from .batch import BatchExecutor
+from .cache import CacheStats, LRUCache
+from .requests import (
+    SOURCE_BATCH_DEDUP,
+    SOURCE_COMPUTED,
+    SOURCE_DECOMPOSITION_CACHE,
+    SOURCE_RESULT_CACHE,
+    EstimateRequest,
+    EstimateResponse,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..trajectories.store import TrajectoryStore
+    from .warmup import WarmupReport
+
+#: Cache key: (path edge ids, alpha-interval index of the departure time, method).
+CacheKey = tuple[tuple[int, ...], int, str]
+
+
+class CostEstimationService:
+    """Cached, batched, precomputed path-cost queries over a hybrid graph."""
+
+    def __init__(
+        self,
+        estimator: PathCostEstimator,
+        parameters: ServiceParameters | None = None,
+    ) -> None:
+        self.parameters = parameters or ServiceParameters()
+        self._base = estimator
+        #: Method served when a request does not override it; ``None`` in the
+        #: configuration means "whatever the wrapped estimator runs", so the
+        #: service stays a numerical drop-in for rank-capped or RD bases.
+        self.default_method = self.parameters.default_method or estimator.method_name
+        self._estimators: dict[str, PathCostEstimator] = {}
+        self._rd_lock = threading.Lock()
+        self._result_cache: LRUCache[CacheKey, CostEstimate] = LRUCache(
+            self.parameters.result_cache_capacity
+        )
+        self._decomposition_cache: LRUCache[CacheKey, PropagatedJoint] = LRUCache(
+            self.parameters.decomposition_cache_capacity
+        )
+        self._served = 0
+        self._computed = 0
+
+    @classmethod
+    def from_hybrid_graph(
+        cls,
+        hybrid_graph: HybridGraph,
+        parameters: ServiceParameters | None = None,
+        **estimator_kwargs,
+    ) -> "CostEstimationService":
+        """Build a service around a fresh estimator on ``hybrid_graph``."""
+        return cls(PathCostEstimator(hybrid_graph, **estimator_kwargs), parameters)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def hybrid_graph(self) -> HybridGraph:
+        return self._base.hybrid_graph
+
+    @property
+    def alpha_minutes(self) -> int:
+        """The time-bucket width of the result cache (the paper's alpha)."""
+        return self._base.parameters.alpha_minutes
+
+    def cache_key(self, path: Path, departure_time_s: float, method: str | None = None) -> CacheKey:
+        """The result/decomposition cache key of a query."""
+        resolved = method or self.default_method
+        interval = interval_of(departure_time_s, self.alpha_minutes)
+        return (path.edge_ids, interval.index, resolved)
+
+    def stats(self) -> dict[str, object]:
+        """Serving counters plus per-cache hit/miss/eviction statistics."""
+        return {
+            "served": self._served,
+            "computed": self._computed,
+            "result_cache": self._result_cache.stats(),
+            "decomposition_cache": self._decomposition_cache.stats(),
+        }
+
+    def result_cache_stats(self) -> CacheStats:
+        return self._result_cache.stats()
+
+    def decomposition_cache_stats(self) -> CacheStats:
+        return self._decomposition_cache.stats()
+
+    def clear_caches(self) -> None:
+        """Drop all cached results and propagated joints."""
+        self._result_cache.clear()
+        self._decomposition_cache.clear()
+
+    # ------------------------------------------------------------------ #
+    # Single-query API
+    # ------------------------------------------------------------------ #
+    def submit(self, request: EstimateRequest) -> EstimateResponse:
+        """Serve one request, answering from cache whenever possible."""
+        started = time.perf_counter()
+        method = request.resolved_method(self.default_method)
+        key = self.cache_key(request.path, request.departure_time_s, method)
+        self._served += 1
+        estimate = self._result_cache.get(key)
+        if estimate is not None:
+            return EstimateResponse(
+                request=request,
+                estimate=estimate,
+                method=method,
+                cache_hit=True,
+                source=SOURCE_RESULT_CACHE,
+                latency_s=time.perf_counter() - started,
+            )
+        estimate, source = self._compute(key, request.path, request.departure_time_s, method)
+        self._result_cache.put(key, estimate)
+        if source == SOURCE_COMPUTED:
+            self._computed += 1
+        return EstimateResponse(
+            request=request,
+            estimate=estimate,
+            method=method,
+            cache_hit=source != SOURCE_COMPUTED,
+            source=source,
+            latency_s=time.perf_counter() - started,
+        )
+
+    def estimate(self, path: Path, departure_time_s: float) -> CostEstimate:
+        """:class:`SupportsEstimate`-compatible entry point (default method).
+
+        The service can be passed anywhere a
+        :class:`~repro.core.estimator.PathCostEstimator` is accepted, e.g.
+        :meth:`ProbabilisticBudgetQuery.best_path` or the stochastic
+        routers.
+        """
+        return self.submit(EstimateRequest(path=path, departure_time_s=departure_time_s)).estimate
+
+    def prob_within(self, path: Path, departure_time_s: float, budget: float) -> float:
+        """Probability that ``path`` completes within ``budget`` cost units."""
+        return self.estimate(path, departure_time_s).prob_within(budget)
+
+    # ------------------------------------------------------------------ #
+    # Batch API
+    # ------------------------------------------------------------------ #
+    def submit_batch(
+        self,
+        requests: Iterable[EstimateRequest],
+        max_workers: int | None = None,
+    ) -> list[EstimateResponse]:
+        """Serve a batch, computing each distinct cache key exactly once.
+
+        Responses are returned in request order.  Requests that collapse
+        onto a key computed for an earlier request in the same batch are
+        served with ``source="batch-dedup"``.  ``max_workers`` overrides
+        the configured thread-pool size for this batch (``0`` forces
+        synchronous execution).
+        """
+        request_list = list(requests)
+        resolved: list[tuple[EstimateRequest, str, CacheKey]] = []
+        for request in request_list:
+            method = request.resolved_method(self.default_method)
+            resolved.append((request, method, self.cache_key(request.path, request.departure_time_s, method)))
+        self._served += len(resolved)
+
+        responses: list[EstimateResponse | None] = [None] * len(resolved)
+        scheduled: dict[CacheKey, tuple[Path, float, str]] = {}
+        dedup_indices: set[int] = set()
+        for index, (request, method, key) in enumerate(resolved):
+            if key in scheduled:
+                dedup_indices.add(index)
+                continue
+            cached = self._result_cache.get(key)
+            if cached is not None:
+                responses[index] = EstimateResponse(
+                    request=request,
+                    estimate=cached,
+                    method=method,
+                    cache_hit=True,
+                    source=SOURCE_RESULT_CACHE,
+                    latency_s=0.0,
+                )
+                continue
+            scheduled[key] = (request.path, request.departure_time_s, method)
+
+        workers = self.parameters.max_workers if max_workers is None else max_workers
+        executor = BatchExecutor(max_workers=workers)
+        work = {
+            key: (lambda k=key, q=query: self._compute(k, q[0], q[1], q[2]))
+            for key, query in scheduled.items()
+        }
+        computed = executor.execute(work)
+        for key, ((estimate, source), _duration) in computed.items():
+            self._result_cache.put(key, estimate)
+            if source == SOURCE_COMPUTED:
+                self._computed += 1
+
+        for index, (request, method, key) in enumerate(resolved):
+            if responses[index] is not None:
+                continue
+            if key in computed:
+                (estimate, source), duration = computed[key]
+                first = index not in dedup_indices
+                responses[index] = EstimateResponse(
+                    request=request,
+                    estimate=estimate,
+                    method=method,
+                    cache_hit=(not first) or source != SOURCE_COMPUTED,
+                    source=source if first else SOURCE_BATCH_DEDUP,
+                    latency_s=duration if first else 0.0,
+                )
+            else:  # pragma: no cover - defensive; every key is cached or computed
+                raise ServiceError(f"batch lost track of key {key}")
+        return [response for response in responses if response is not None]
+
+    def estimate_batch(
+        self,
+        paths: Sequence[Path],
+        departure_time_s: float,
+        method: str | None = None,
+        max_workers: int | None = None,
+    ) -> list[CostEstimate]:
+        """Estimates for a candidate set at a shared departure time.
+
+        This is the hook :meth:`ProbabilisticBudgetQuery.best_path` uses to
+        evaluate all candidates in one deduplicated batch.
+        """
+        requests = [
+            EstimateRequest(path=path, departure_time_s=departure_time_s, method=method)
+            for path in paths
+        ]
+        return [response.estimate for response in self.submit_batch(requests, max_workers=max_workers)]
+
+    # ------------------------------------------------------------------ #
+    # Warmup
+    # ------------------------------------------------------------------ #
+    def warmup(self, store: "TrajectoryStore", **kwargs) -> "WarmupReport":
+        """Seed the caches from the store's most-traveled paths.
+
+        See :func:`repro.service.warmup.warmup_from_store` for the keyword
+        arguments; defaults come from :class:`ServiceParameters`.
+        """
+        from .warmup import warmup_from_store
+
+        return warmup_from_store(self, store, **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _estimator_for(self, method: str) -> PathCostEstimator:
+        """The estimator variant implementing ``method`` (built once, reused)."""
+        variant = self._estimators.get(method)
+        if variant is not None:
+            return variant
+        if method == "RD":
+            strategy, max_rank = "random", None
+        elif method == "OD":
+            strategy, max_rank = "coarsest", None
+        elif method.startswith("OD-"):
+            strategy, max_rank = "coarsest", int(method[3:])
+        else:
+            raise ServiceError(f"unknown estimation method {method!r}")
+        base = self._base
+        if base.decomposition_strategy == strategy and base.parameters.max_rank == max_rank:
+            variant = base
+        else:
+            variant = PathCostEstimator(
+                base.hybrid_graph,
+                parameters=base.parameters.with_max_rank(max_rank),
+                decomposition_strategy=strategy,
+                max_aggregate_buckets=base.max_aggregate_buckets,
+                output_buckets=base.output_buckets,
+                seed=base.seed,
+            )
+        self._estimators[method] = variant
+        return variant
+
+    def _compute(
+        self, key: CacheKey, path: Path, departure_time_s: float, method: str
+    ) -> tuple[CostEstimate, str]:
+        """Produce the estimate for a result-cache miss.
+
+        Tries the decomposition cache first (re-running only the MC step);
+        otherwise runs the full OI + JC + MC pipeline and stores the
+        propagated joint for later reuse.
+        """
+        estimator = self._estimator_for(method)
+        propagated = self._decomposition_cache.get(key)
+        if propagated is not None:
+            started = time.perf_counter()
+            estimate = estimator.estimate_from_joint(propagated, path, departure_time_s)
+            mc_elapsed = time.perf_counter() - started
+            return (
+                replace(estimate, timings_s={"mc": mc_elapsed, "total": mc_elapsed}),
+                SOURCE_DECOMPOSITION_CACHE,
+            )
+        started = time.perf_counter()
+        if estimator.decomposition_strategy == "random":
+            # The RD estimator draws from a shared numpy Generator, which is
+            # not thread-safe; serialise it under the batch thread pool.
+            with self._rd_lock:
+                propagated = estimator.propagate(path, departure_time_s)
+        else:
+            propagated = estimator.propagate(path, departure_time_s)
+        after_oi_jc = time.perf_counter()
+        self._decomposition_cache.put(key, propagated)
+        estimate = estimator.estimate_from_joint(propagated, path, departure_time_s)
+        after_mc = time.perf_counter()
+        estimate = replace(
+            estimate,
+            timings_s={
+                "oi+jc": after_oi_jc - started,
+                "mc": after_mc - after_oi_jc,
+                "total": after_mc - started,
+            },
+        )
+        return estimate, SOURCE_COMPUTED
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        results = self._result_cache.stats()
+        return (
+            f"CostEstimationService(method={self.default_method!r}, "
+            f"served={self._served}, computed={self._computed}, "
+            f"result_cache={results.size}/{results.capacity}, "
+            f"hit_rate={results.hit_rate:.2f})"
+        )

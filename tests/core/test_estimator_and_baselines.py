@@ -73,6 +73,17 @@ class TestPathCostEstimator:
         assert estimate.method == "OD-2"
         assert estimate.decomposition.max_rank() <= 2
 
+    def test_with_max_rank_preserves_seed(self, hybrid_graph, busy_query):
+        """The copied estimator's RNG must stay reproducibly configured."""
+        path, departure = busy_query
+        base = PathCostEstimator(hybrid_graph, decomposition_strategy="random", seed=42)
+        assert base.with_max_rank(3).seed == 42
+        first = base.with_max_rank(3).estimate(path, departure)
+        second = base.with_max_rank(3).estimate(path, departure)
+        assert [p.edge_ids for p in first.decomposition.paths] == [
+            p.edge_ids for p in second.decomposition.paths
+        ]
+
     def test_invalid_strategy_rejected(self, hybrid_graph):
         with pytest.raises(EstimationError):
             PathCostEstimator(hybrid_graph, decomposition_strategy="optimal")

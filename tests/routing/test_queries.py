@@ -23,6 +23,29 @@ class TestDominance:
         assert not first_order_dominates(tight, spread)
         assert not first_order_dominates(spread, tight)
 
+    def test_identical_point_masses_are_symmetric(self):
+        """Degenerate case: two identical point masses must not dominate
+        each other in either argument order (dominance is irreflexive).
+
+        :class:`Bucket` forbids zero-width ranges, so the degenerate
+        support only arises through duck-typed distributions; a stub point
+        mass exercises that branch.
+        """
+
+        class PointMass:
+            def __init__(self, value):
+                self.min = value
+                self.max = value
+
+            def cdf(self, x):
+                return 1.0 if x >= self.min else 0.0
+
+        first = PointMass(30.0)
+        second = PointMass(30.0)
+        assert not first_order_dominates(first, second)
+        assert not first_order_dominates(second, first)
+        assert not first_order_dominates(first, first)
+
 
 class TestBudgetQuery:
     def test_figure1_scenario(self):

@@ -1,0 +1,113 @@
+"""Unit tests for the service's LRU cache and batch executor."""
+
+import pytest
+
+from repro import ServiceError
+from repro.service import BatchExecutor, LRUCache
+
+
+class TestLRUCache:
+    def test_get_and_put(self):
+        cache = LRUCache(capacity=4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert len(cache) == 1
+
+    def test_eviction_order_is_least_recently_used(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh "a": "b" is now the LRU entry
+        cache.put("c", 3)
+        assert "a" in cache
+        assert "b" not in cache
+        assert "c" in cache
+
+    def test_put_refreshes_existing_key(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # refresh + overwrite; evicting would drop "b"
+        cache.put("c", 3)
+        assert cache.peek("a") == 10
+        assert "b" not in cache
+
+    def test_stats_track_hits_misses_evictions(self):
+        cache = LRUCache(capacity=1)
+        cache.get("missing")
+        cache.put("a", 1)
+        cache.get("a")
+        cache.put("b", 2)  # evicts "a"
+        stats = cache.stats()
+        assert stats.hits == 1
+        assert stats.misses == 1
+        assert stats.evictions == 1
+        assert stats.size == 1
+        assert stats.capacity == 1
+        assert stats.hit_rate == pytest.approx(0.5)
+
+    def test_peek_and_contains_do_not_touch_stats(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.peek("a")
+        cache.peek("missing")
+        assert "a" in cache
+        stats = cache.stats()
+        assert stats.hits == 0
+        assert stats.misses == 0
+
+    def test_clear_keeps_stats(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats().hits == 1
+
+    def test_cached_none_counts_as_hit(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", None)
+        assert cache.get("a", default="fallback") is None
+        assert cache.stats().hits == 1
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ServiceError):
+            LRUCache(capacity=0)
+
+    def test_hit_rate_without_requests(self):
+        assert LRUCache(capacity=1).stats().hit_rate == 0.0
+
+
+class TestBatchExecutor:
+    def test_synchronous_execution(self):
+        executor = BatchExecutor(max_workers=0)
+        results = executor.execute({"x": lambda: 1, "y": lambda: 2})
+        assert {key: value for key, (value, _) in results.items()} == {"x": 1, "y": 2}
+
+    def test_threaded_execution_matches_synchronous(self):
+        work = {i: (lambda i=i: i * i) for i in range(20)}
+        serial = BatchExecutor(max_workers=0).execute(work)
+        threaded = BatchExecutor(max_workers=4).execute(work)
+        assert {k: v for k, (v, _) in serial.items()} == {k: v for k, (v, _) in threaded.items()}
+
+    def test_empty_batch(self):
+        assert BatchExecutor(max_workers=2).execute({}) == {}
+
+    def test_exceptions_propagate(self):
+        def boom():
+            raise ValueError("boom")
+
+        with pytest.raises(ValueError):
+            BatchExecutor(max_workers=0).execute({"x": boom})
+        with pytest.raises(ValueError):
+            BatchExecutor(max_workers=2).execute({"x": boom, "y": lambda: 1})
+
+    def test_invalid_workers(self):
+        with pytest.raises(ServiceError):
+            BatchExecutor(max_workers=-1)
+
+    def test_durations_recorded(self):
+        results = BatchExecutor().execute({"x": lambda: 1})
+        _value, duration = results["x"]
+        assert duration >= 0.0

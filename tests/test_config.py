@@ -6,6 +6,7 @@ from repro import (
     ConfigurationError,
     EstimatorParameters,
     ExperimentParameters,
+    ServiceParameters,
     SimulationParameters,
 )
 
@@ -63,6 +64,41 @@ class TestSimulationParameters:
     def test_invalid_count(self):
         with pytest.raises(ConfigurationError):
             SimulationParameters(n_trajectories=0)
+
+
+class TestServiceParameters:
+    def test_defaults_valid(self):
+        parameters = ServiceParameters()
+        assert parameters.default_method is None  # = the wrapped estimator's method
+        assert parameters.max_workers == 0
+
+    def test_invalid_capacities(self):
+        with pytest.raises(ConfigurationError):
+            ServiceParameters(result_cache_capacity=0)
+        with pytest.raises(ConfigurationError):
+            ServiceParameters(decomposition_cache_capacity=0)
+
+    def test_invalid_workers(self):
+        with pytest.raises(ConfigurationError):
+            ServiceParameters(max_workers=-1)
+
+    def test_method_names_validated(self):
+        ServiceParameters(default_method="OD-3")
+        ServiceParameters(default_method="RD")
+        with pytest.raises(ConfigurationError):
+            ServiceParameters(default_method="LB")
+        with pytest.raises(ConfigurationError):
+            ServiceParameters(default_method="OD-0")
+        with pytest.raises(ConfigurationError):
+            ServiceParameters(default_method="OD-x")
+
+    def test_invalid_warmup_settings(self):
+        with pytest.raises(ConfigurationError):
+            ServiceParameters(warmup_top_paths=0)
+        with pytest.raises(ConfigurationError):
+            ServiceParameters(warmup_max_cardinality=0)
+        with pytest.raises(ConfigurationError):
+            ServiceParameters(warmup_intervals_per_path=0)
 
 
 class TestExperimentParameters:
