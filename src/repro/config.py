@@ -179,6 +179,77 @@ class ServiceParameters:
             )
 
 
+@dataclass(frozen=True)
+class IngestParameters:
+    """Parameters for the streaming ingest pipeline (:mod:`repro.ingest`).
+
+    Attributes
+    ----------
+    queue_capacity:
+        Bound on the pipeline's submission queue.  When the queue is full,
+        :meth:`~repro.ingest.TrajectoryIngestPipeline.submit` blocks --
+        backpressure instead of unbounded memory under bursty input.
+    n_workers:
+        Worker threads draining the queue in streaming mode.  Map matching
+        dominates ingest cost and parallelises cleanly; appends themselves
+        are serialised by the store's append lock.
+    match_failure_policy:
+        ``"skip"`` records unmatchable trajectories with a reason and keeps
+        going (the production default -- a bad GPS trace must never take
+        down the pipeline); ``"raise"`` re-raises for debugging.
+    min_gps_records:
+        GPS trajectories with fewer usable (distinct-timestamp) records
+        than this are skipped before map matching.
+    invalidate_on_append:
+        Invalidate service cache entries touching an appended trajectory's
+        edges immediately at append time.  Entries on untouched paths are
+        kept (targeted invalidation instead of ``clear_caches``).
+    auto_refresh_trajectories:
+        After this many appended trajectories, the pipeline automatically
+        rebuilds the hybrid graph from a store snapshot and rebases the
+        service onto it.  ``0`` (the default) refreshes only on explicit
+        :meth:`~repro.ingest.TrajectoryIngestPipeline.refresh` calls.
+    rewarm_invalidated:
+        After invalidation, immediately recompute the dropped result-cache
+        entries (hot-path re-warmup) so the next user query is a hit again.
+    max_rewarm_keys:
+        Cap on how many invalidated keys a single re-warmup recomputes.
+    """
+
+    queue_capacity: int = 256
+    n_workers: int = 1
+    match_failure_policy: str = "skip"
+    min_gps_records: int = 2
+    invalidate_on_append: bool = True
+    auto_refresh_trajectories: int = 0
+    rewarm_invalidated: bool = False
+    max_rewarm_keys: int = 32
+
+    def __post_init__(self) -> None:
+        if self.queue_capacity < 1:
+            raise ConfigurationError(f"queue_capacity must be >= 1, got {self.queue_capacity}")
+        if self.n_workers < 1:
+            raise ConfigurationError(f"n_workers must be >= 1, got {self.n_workers}")
+        if self.match_failure_policy not in ("skip", "raise"):
+            raise ConfigurationError(
+                "match_failure_policy must be 'skip' or 'raise', got "
+                f"{self.match_failure_policy!r}"
+            )
+        if self.min_gps_records < 2:
+            raise ConfigurationError(
+                f"min_gps_records must be >= 2, got {self.min_gps_records}"
+            )
+        if self.auto_refresh_trajectories < 0:
+            raise ConfigurationError(
+                "auto_refresh_trajectories must be >= 0, got "
+                f"{self.auto_refresh_trajectories}"
+            )
+        if self.max_rewarm_keys < 1:
+            raise ConfigurationError(
+                f"max_rewarm_keys must be >= 1, got {self.max_rewarm_keys}"
+            )
+
+
 def _valid_method_name(method: str) -> bool:
     """True for the method names the service understands: OD, OD-<k>, RD."""
     if method in ("OD", "RD"):
@@ -267,3 +338,4 @@ DEFAULT_ESTIMATOR_PARAMETERS = EstimatorParameters()
 DEFAULT_SERVICE_PARAMETERS = ServiceParameters()
 DEFAULT_SIMULATION_PARAMETERS = SimulationParameters()
 DEFAULT_EXPERIMENT_PARAMETERS = ExperimentParameters()
+DEFAULT_INGEST_PARAMETERS = IngestParameters()

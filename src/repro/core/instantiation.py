@@ -71,7 +71,22 @@ class HybridGraphBuilder:
         self.parameters = parameters or EstimatorParameters()
         self.max_cardinality = max_cardinality
         self.dimension_bucket_strategy = dimension_bucket_strategy
-        self._rng = np.random.default_rng(seed)
+        self.seed = seed
+
+    def _variable_rng(self, edge_ids: tuple[int, ...], interval_index: int) -> np.random.Generator:
+        """A deterministic RNG for one (path, interval) variable.
+
+        Seeding per variable -- instead of consuming one generator across
+        the whole build -- makes each variable's histogram depend only on
+        its own observations and the builder seed, not on build order.
+        The streaming ingest subsystem relies on this: after new data
+        arrives on some edges, a rebuilt graph assigns bit-identical
+        distributions to every untouched (path, interval), so the service
+        can keep cached results for paths disjoint from the dirty set.
+        """
+        return np.random.default_rng(
+            np.random.SeedSequence([self.seed & 0xFFFFFFFF, interval_index, *edge_ids])
+        )
 
     # ------------------------------------------------------------------ #
     def build(self, store: TrajectoryStore) -> HybridGraph:
@@ -104,7 +119,9 @@ class HybridGraphBuilder:
                     continue
                 costs = [observation.total_cost for observation in observations]
                 distribution = build_auto_histogram(
-                    RawDistribution(costs), parameters, self._rng
+                    RawDistribution(costs),
+                    parameters,
+                    self._variable_rng(path.edge_ids, interval_index),
                 )
                 graph.add_variable(
                     InstantiatedVariable(
@@ -143,7 +160,7 @@ class HybridGraphBuilder:
             for interval_index, observations in grouped.items():
                 if len(observations) < parameters.beta:
                     continue
-                distribution = self._build_joint_histogram(path, observations)
+                distribution = self._build_joint_histogram(path, interval_index, observations)
                 graph.add_variable(
                     InstantiatedVariable(
                         path=path,
@@ -173,15 +190,16 @@ class HybridGraphBuilder:
         return prefix in previous_level and suffix in previous_level
 
     def _build_joint_histogram(
-        self, path: Path, observations: list[PathObservation]
+        self, path: Path, interval_index: int, observations: list[PathObservation]
     ) -> MultiHistogram:
         """Build the multi-dimensional histogram of a path's joint cost distribution."""
         samples = np.array([observation.edge_costs for observation in observations], dtype=float)
+        rng = self._variable_rng(path.edge_ids, interval_index)
         boundaries: list[list[float]] = []
         for axis in range(samples.shape[1]):
             column = RawDistribution(samples[:, axis])
             if self.dimension_bucket_strategy == "cv":
-                n_buckets = auto_bucket_count(column, self.parameters, self._rng)
+                n_buckets = auto_bucket_count(column, self.parameters, rng)
             else:
                 n_buckets = heuristic_bucket_count(column, max_buckets=self.parameters.max_buckets)
             boundaries.append(v_optimal_boundaries(column, n_buckets))

@@ -48,5 +48,9 @@ class ServiceError(ReproError):
     """Raised by the online cost-estimation service for invalid requests."""
 
 
+class IngestError(ReproError):
+    """Raised by the streaming ingest pipeline for invalid use or shutdown races."""
+
+
 class ConfigurationError(ReproError):
     """Raised for invalid parameter values in configuration objects."""

@@ -1,0 +1,495 @@
+"""The streaming ingest pipeline: online GPS -> matched -> live store -> caches.
+
+:class:`TrajectoryIngestPipeline` is the write path that keeps the paper's
+estimates fresh as vehicles report in:
+
+1. **normalise + match** -- raw GPS input is normalised
+   (:func:`~repro.ingest.normalize.normalize_gps_records`) and HMM
+   map-matched; unmatchable traces are skipped with a recorded reason
+   (or re-raised under ``match_failure_policy="raise"``);
+2. **append** -- matched trajectories go into a
+   :class:`~repro.trajectories.mutable.MutableTrajectoryStore` with
+   incremental inverted-index maintenance (``O(|trajectory|)`` per append);
+3. **invalidate** -- each append yields an edge-level dirty set that drives
+   *targeted* invalidation of the attached service's result and
+   decomposition caches (entries on untouched paths stay hot), with
+   optional re-warmup of the dropped keys;
+4. **refresh** -- periodically (``auto_refresh_trajectories``) or on
+   demand, the hybrid graph is re-instantiated from a store snapshot and
+   the service is rebased onto it, making estimates on affected paths
+   numerically identical to a cold rebuild from the same data.
+
+Input can be pushed synchronously (:meth:`~TrajectoryIngestPipeline.ingest`,
+:meth:`~TrajectoryIngestPipeline.ingest_batch`) or streamed through a
+bounded queue drained by worker threads
+(:meth:`~TrajectoryIngestPipeline.start` /
+:meth:`~TrajectoryIngestPipeline.submit` /
+:meth:`~TrajectoryIngestPipeline.stop`); the bounded queue gives
+backpressure under bursty input instead of unbounded memory growth.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from collections import Counter, deque
+from typing import TYPE_CHECKING, Callable, Iterable
+
+from ..config import IngestParameters
+from ..exceptions import IngestError, MapMatchingError, ReproError, TrajectoryError
+from ..roadnet.path import Path
+from ..service.requests import EstimateRequest
+from ..trajectories.gps import Trajectory
+from ..trajectories.matched import MatchedTrajectory
+from ..trajectories.mutable import MutableTrajectoryStore
+from .normalize import normalize_gps_records
+from .results import (
+    REASON_ERROR,
+    REASON_INVALID,
+    REASON_TOO_FEW_RECORDS,
+    REASON_UNMATCHABLE,
+    IngestReport,
+    IngestResult,
+    IngestStats,
+    RefreshReport,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.hybrid_graph import HybridGraph
+    from ..core.instantiation import HybridGraphBuilder
+    from ..service.service import CostEstimationService, InvalidationReport
+    from ..trajectories.mapmatching import HMMMapMatcher
+
+#: Placed on the queue once per worker to shut streaming mode down.
+_SENTINEL = object()
+
+
+def _item_id(item) -> int:
+    """Best-effort trajectory id of any ingest input shape (for skip records)."""
+    if isinstance(item, tuple) and item:
+        try:
+            return int(item[0])
+        except (TypeError, ValueError):
+            return -1
+    return getattr(item, "trajectory_id", -1)
+
+
+class TrajectoryIngestPipeline:
+    """Online trajectory ingestion with live store and cache maintenance.
+
+    Parameters
+    ----------
+    store:
+        The mutable store appends go into.  May start empty.
+    matcher:
+        HMM map matcher for raw GPS input.  Optional: a pipeline fed only
+        pre-matched trajectories (e.g. from an upstream matching tier)
+        does not need one.
+    service:
+        The estimation service whose caches track the store.  Optional: a
+        detached pipeline just maintains the store.
+    builder_factory:
+        Zero-argument callable returning a *fresh*
+        :class:`~repro.core.instantiation.HybridGraphBuilder`; required for
+        :meth:`refresh`.  A fresh builder per refresh matters: it makes the
+        rebuilt graph identical to a cold build from the same snapshot
+        (the builder's internal RNG is consumed during a build).
+    parameters:
+        :class:`~repro.config.IngestParameters`; defaults apply when
+        ``None``.
+    """
+
+    def __init__(
+        self,
+        store: MutableTrajectoryStore,
+        matcher: "HMMMapMatcher | None" = None,
+        service: "CostEstimationService | None" = None,
+        builder_factory: "Callable[[], HybridGraphBuilder] | None" = None,
+        parameters: IngestParameters | None = None,
+    ) -> None:
+        if not isinstance(store, MutableTrajectoryStore):
+            raise IngestError(
+                "the ingest pipeline needs a MutableTrajectoryStore, got "
+                f"{type(store).__name__}"
+            )
+        self.store = store
+        self.matcher = matcher
+        self.service = service
+        self.parameters = parameters or IngestParameters()
+        self._builder_factory = builder_factory
+        # Commit lock: serialises append + invalidate + counter updates so
+        # stats stay consistent across queue workers.  Reentrant because a
+        # commit can trigger an auto-refresh.
+        self._lock = threading.RLock()
+        self._queue: queue.Queue | None = None
+        self._workers: list[threading.Thread] = []
+        # Counters (all guarded by the commit lock).
+        self._submitted = 0
+        self._accepted = 0
+        self._skip_reasons: Counter[str] = Counter()
+        self._recent_skips: deque[IngestResult] = deque(maxlen=64)
+        self._pending_dirty: set[int] = set()
+        self._since_refresh = 0
+        self._invalidated_results = 0
+        self._invalidated_decompositions = 0
+        self._rewarmed = 0
+        self._refreshes = 0
+
+    # ------------------------------------------------------------------ #
+    # Synchronous ingestion
+    # ------------------------------------------------------------------ #
+    def ingest(self, item: "MatchedTrajectory | Trajectory | tuple") -> IngestResult:
+        """Ingest one trajectory and apply its effects immediately.
+
+        ``item`` may be a :class:`MatchedTrajectory` (append directly), a
+        :class:`Trajectory` (map-match first), or a ``(trajectory_id,
+        gps_records)`` pair (normalise messy records, then match).
+        """
+        with self._lock:
+            self._submitted += 1
+        matched, skip = self._prepare(item)
+        if skip is not None:
+            return skip
+        dirty, _invalidation, _rewarmed = self._commit([matched])
+        return IngestResult(
+            trajectory_id=matched.trajectory_id,
+            accepted=True,
+            dirty_edges=frozenset(dirty),
+            matched=matched,
+        )
+
+    def ingest_batch(self, items: Iterable["MatchedTrajectory | Trajectory | tuple"]) -> IngestReport:
+        """Ingest a batch, committing all appends under one invalidation pass.
+
+        Batching amortises the cache scan: the union of the batch's dirty
+        sets is applied once instead of per trajectory.
+        """
+        started = time.perf_counter()
+        results: list[IngestResult | None] = []
+        matched_batch: list[MatchedTrajectory] = []
+        for item in items:
+            with self._lock:
+                self._submitted += 1
+            matched, skip = self._prepare(item)
+            if skip is not None:
+                results.append(skip)
+                continue
+            matched_batch.append(matched)
+            results.append(None)  # placeholder, filled after the commit
+        dirty: set[int] = set()
+        invalidation = None
+        rewarmed = 0
+        if matched_batch:
+            dirty, invalidation, rewarmed = self._commit(matched_batch)
+        accepted = iter(matched_batch)
+        for index, result in enumerate(results):
+            if result is None:
+                matched = next(accepted)
+                results[index] = IngestResult(
+                    trajectory_id=matched.trajectory_id,
+                    accepted=True,
+                    dirty_edges=frozenset(matched.edge_ids),
+                    matched=matched,
+                )
+        return IngestReport(
+            results=tuple(results),
+            dirty_edges=frozenset(dirty),
+            invalidation=invalidation,
+            rewarmed=rewarmed,
+            duration_s=time.perf_counter() - started,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Streaming ingestion (bounded queue + workers)
+    # ------------------------------------------------------------------ #
+    def start(self) -> "TrajectoryIngestPipeline":
+        """Spawn the worker threads that drain the submission queue."""
+        if self._workers:
+            raise IngestError("the pipeline is already started")
+        self._queue = queue.Queue(maxsize=self.parameters.queue_capacity)
+        for index in range(self.parameters.n_workers):
+            worker = threading.Thread(
+                target=self._worker_loop, name=f"ingest-worker-{index}", daemon=True
+            )
+            worker.start()
+            self._workers.append(worker)
+        return self
+
+    def submit(
+        self,
+        item: "MatchedTrajectory | Trajectory | tuple",
+        block: bool = True,
+        timeout: float | None = None,
+    ) -> bool:
+        """Enqueue one item for the workers; ``False`` if the queue stayed full.
+
+        With ``block=True`` (the default) a full queue applies
+        backpressure: the caller waits until a worker frees a slot.
+        """
+        if self._queue is None:
+            raise IngestError("streaming mode is not started; call start() or use ingest()")
+        try:
+            self._queue.put(item, block=block, timeout=timeout)
+        except queue.Full:
+            return False
+        with self._lock:
+            self._submitted += 1
+        return True
+
+    def drain(self) -> None:
+        """Block until every submitted item has been fully processed."""
+        if self._queue is not None:
+            self._queue.join()
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop streaming mode (optionally draining the backlog first)."""
+        if not self._workers:
+            return
+        if drain:
+            self.drain()
+        assert self._queue is not None
+        for _ in self._workers:
+            self._queue.put(_SENTINEL)
+        for worker in self._workers:
+            worker.join()
+        self._workers = []
+        self._queue = None
+
+    def __enter__(self) -> "TrajectoryIngestPipeline":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop(drain=exc_type is None)
+
+    def _worker_loop(self) -> None:
+        assert self._queue is not None
+        while True:
+            item = self._queue.get()
+            try:
+                if item is _SENTINEL:
+                    return
+                try:
+                    # allow_raise=False: in streaming mode, match failures
+                    # are always recorded under their real reason -- there
+                    # is no caller to re-raise to on a worker thread.
+                    matched, skip = self._prepare(item, allow_raise=False)
+                    if matched is not None:
+                        self._commit([matched])
+                except Exception as error:
+                    # A streamed item must never kill a worker (a dead
+                    # worker strands the queue and deadlocks drain()):
+                    # record anything unexpected and move on.
+                    self._record_skip(
+                        IngestResult(
+                            trajectory_id=_item_id(item),
+                            accepted=False,
+                            reason=REASON_ERROR,
+                            detail=f"{type(error).__name__}: {error}",
+                        )
+                    )
+            finally:
+                self._queue.task_done()
+
+    # ------------------------------------------------------------------ #
+    # Refresh: rebuild the hybrid graph, rebase the service
+    # ------------------------------------------------------------------ #
+    def refresh(self) -> RefreshReport:
+        """Re-instantiate the hybrid graph from a store snapshot and rebase.
+
+        After a refresh, service estimates on paths touched since the last
+        refresh are numerically identical to a cold rebuild from the same
+        data: the builder is freshly constructed (same seed, fresh RNG),
+        the snapshot is a consistent point-in-time view, and every stale
+        cache entry intersecting the accumulated dirty set is dropped.
+        Entries on untouched paths are kept -- their observation sets did
+        not change.
+        """
+        if self.service is None or self._builder_factory is None:
+            raise IngestError("refresh() needs both a service and a builder_factory")
+        with self._lock:
+            return self._refresh_locked()
+
+    def _refresh_locked(self) -> RefreshReport:
+        started = time.perf_counter()
+        snapshot = self.store.snapshot()
+        graph = self._builder_factory().build(snapshot)
+        dirty = frozenset(self._pending_dirty)
+        self._pending_dirty.clear()
+        self._since_refresh = 0
+        invalidation = self.service.rebase(graph, dirty_edges=dirty)
+        self._record_invalidation(invalidation)
+        rewarmed = 0
+        if self.parameters.rewarm_invalidated and invalidation.result_keys:
+            rewarmed = self._rewarm(invalidation.result_keys)
+        self._refreshes += 1
+        return RefreshReport(
+            store_version=snapshot.version,
+            n_trajectories=len(snapshot),
+            n_variables=graph.num_variables(),
+            dirty_edges=dirty,
+            invalidation=invalidation,
+            rewarmed=rewarmed,
+            duration_s=time.perf_counter() - started,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def stats(self) -> IngestStats:
+        """A consistent snapshot of the pipeline's counters."""
+        with self._lock:
+            skipped = sum(self._skip_reasons.values())
+            return IngestStats(
+                submitted=self._submitted,
+                accepted=self._accepted,
+                skipped=skipped,
+                skip_reasons=dict(self._skip_reasons),
+                backlog=self._queue.qsize() if self._queue is not None else 0,
+                store_version=self.store.version,
+                pending_dirty_edges=len(self._pending_dirty),
+                invalidated_results=self._invalidated_results,
+                invalidated_decompositions=self._invalidated_decompositions,
+                rewarmed=self._rewarmed,
+                refreshes=self._refreshes,
+            )
+
+    def recent_skips(self) -> list[IngestResult]:
+        """The most recent skipped items, oldest first (bounded window)."""
+        with self._lock:
+            return list(self._recent_skips)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _prepare(
+        self, item: "MatchedTrajectory | Trajectory | tuple", allow_raise: bool = True
+    ) -> tuple[MatchedTrajectory | None, IngestResult | None]:
+        """Normalise and map-match one input item.
+
+        Returns ``(matched, None)`` on success, ``(None, skip_result)``
+        when the item was skipped.  ``allow_raise=False`` (streaming mode)
+        records match failures even under the ``"raise"`` policy.
+        """
+        if isinstance(item, MatchedTrajectory):
+            return item, None
+        if isinstance(item, tuple):
+            if len(item) != 2:
+                raise IngestError(
+                    "raw-record input must be a (trajectory_id, gps_records) pair"
+                )
+            trajectory_id, records = item
+            try:
+                trajectory_id = int(trajectory_id)
+            except (TypeError, ValueError):
+                raise IngestError(
+                    f"trajectory id must be an integer, got {trajectory_id!r}"
+                ) from None
+            try:
+                gps = normalize_gps_records(
+                    trajectory_id, records, self.parameters.min_gps_records
+                )
+            except TrajectoryError as error:
+                return None, self._skip(trajectory_id, REASON_TOO_FEW_RECORDS, error, allow_raise)
+        elif isinstance(item, Trajectory):
+            gps = item
+            if len(gps) < self.parameters.min_gps_records:
+                return None, self._skip(
+                    gps.trajectory_id,
+                    REASON_TOO_FEW_RECORDS,
+                    TrajectoryError(
+                        f"trajectory {gps.trajectory_id} has {len(gps)} GPS records, "
+                        f"need at least {self.parameters.min_gps_records}"
+                    ),
+                    allow_raise,
+                )
+        else:
+            raise IngestError(
+                "cannot ingest a "
+                f"{type(item).__name__}: expected MatchedTrajectory, Trajectory, "
+                "or a (trajectory_id, gps_records) pair"
+            )
+        if self.matcher is None:
+            raise IngestError("raw GPS input needs a map matcher; construct the pipeline with one")
+        try:
+            matched = self.matcher.match(gps)
+        except MapMatchingError as error:
+            return None, self._skip(gps.trajectory_id, REASON_UNMATCHABLE, error, allow_raise)
+        except TrajectoryError as error:
+            return None, self._skip(gps.trajectory_id, REASON_INVALID, error, allow_raise)
+        return matched, None
+
+    def _skip(
+        self, trajectory_id: int, reason: str, error: ReproError, allow_raise: bool = True
+    ) -> IngestResult:
+        if allow_raise and self.parameters.match_failure_policy == "raise":
+            raise error
+        result = IngestResult(
+            trajectory_id=trajectory_id, accepted=False, reason=reason, detail=str(error)
+        )
+        self._record_skip(result)
+        return result
+
+    def _record_skip(self, result: IngestResult) -> None:
+        with self._lock:
+            self._skip_reasons[result.reason or REASON_ERROR] += 1
+            self._recent_skips.append(result)
+
+    def _commit(
+        self, matched_batch: list[MatchedTrajectory]
+    ) -> tuple[set[int], "InvalidationReport | None", int]:
+        """Append a batch and apply its cache effects atomically."""
+        with self._lock:
+            dirty = self.store.append_many(matched_batch)
+            self._accepted += len(matched_batch)
+            self._pending_dirty |= dirty
+            self._since_refresh += len(matched_batch)
+            invalidation = None
+            rewarmed = 0
+            if self.service is not None and self.parameters.invalidate_on_append and dirty:
+                invalidation = self.service.invalidate_edges(dirty)
+                self._record_invalidation(invalidation)
+                if self.parameters.rewarm_invalidated and invalidation.result_keys:
+                    rewarmed = self._rewarm(invalidation.result_keys)
+            if (
+                self.parameters.auto_refresh_trajectories
+                and self._since_refresh >= self.parameters.auto_refresh_trajectories
+                and self.service is not None
+                and self._builder_factory is not None
+            ):
+                self._refresh_locked()
+            return dirty, invalidation, rewarmed
+
+    def _record_invalidation(self, invalidation: "InvalidationReport") -> None:
+        self._invalidated_results += len(invalidation.result_keys)
+        self._invalidated_decompositions += len(invalidation.decomposition_keys)
+
+    def _rewarm(self, result_keys: tuple) -> int:
+        """Recompute recently invalidated result-cache entries.
+
+        Keys encode ``(path edge ids, alpha-interval index, method)``; the
+        interval midpoint stands in for the original departure time (the
+        cache buckets by interval, so the key maps back exactly).
+        """
+        assert self.service is not None
+        width_s = self.service.alpha_minutes * 60.0
+        requests = [
+            EstimateRequest(
+                path=Path(list(edge_ids)),
+                departure_time_s=(interval_index + 0.5) * width_s,
+                method=method,
+            )
+            for edge_ids, interval_index, method in result_keys[: self.parameters.max_rewarm_keys]
+        ]
+        self.service.submit_batch(requests)
+        with self._lock:
+            self._rewarmed += len(requests)
+        return len(requests)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        stats = self.stats()
+        return (
+            f"TrajectoryIngestPipeline(accepted={stats.accepted}, "
+            f"skipped={stats.skipped}, backlog={stats.backlog}, "
+            f"store_version={stats.store_version})"
+        )

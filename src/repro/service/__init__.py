@@ -6,13 +6,16 @@ serving layer:
 * :class:`CostEstimationService` -- typed request/response API, bounded LRU
   result + decomposition caches, batch dedup, warmup;
 * :class:`EstimateRequest` / :class:`EstimateResponse` -- the service API;
-* :class:`LRUCache` / :class:`CacheStats` -- the bounded cache primitive;
+* :class:`LRUCache` / :class:`EstimateCache` / :class:`CacheStats` -- the
+  bounded cache primitives, with edge-level targeted invalidation;
 * :class:`BatchExecutor` -- dedup + optional thread-pool fan-out;
-* :func:`warmup_from_store` / :class:`WarmupReport` -- precomputation.
+* :func:`warmup_from_store` / :class:`WarmupReport` -- precomputation;
+* :class:`InvalidationReport` -- what a targeted invalidation removed
+  (the hook the streaming ingest subsystem drives).
 """
 
 from .batch import BatchExecutor
-from .cache import CacheStats, LRUCache
+from .cache import CacheStats, EstimateCache, LRUCache
 from .requests import (
     SOURCE_BATCH_DEDUP,
     SOURCE_COMPUTED,
@@ -21,15 +24,17 @@ from .requests import (
     EstimateRequest,
     EstimateResponse,
 )
-from .service import CostEstimationService
+from .service import CostEstimationService, InvalidationReport
 from .warmup import WarmupReport, most_traveled_paths, warmup_from_store
 
 __all__ = [
     "BatchExecutor",
     "CacheStats",
     "CostEstimationService",
+    "EstimateCache",
     "EstimateRequest",
     "EstimateResponse",
+    "InvalidationReport",
     "LRUCache",
     "SOURCE_BATCH_DEDUP",
     "SOURCE_COMPUTED",

@@ -17,7 +17,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Generic, Hashable, Iterator, TypeVar
+from typing import Callable, Generic, Hashable, Iterable, Iterator, TypeVar
 
 from ..exceptions import ServiceError
 
@@ -37,6 +37,9 @@ class CacheStats:
     evictions: int
     size: int
     capacity: int
+    #: Entries removed by targeted invalidation (as opposed to capacity
+    #: evictions): stale data dropped because new trajectories arrived.
+    invalidations: int = 0
 
     @property
     def requests(self) -> int:
@@ -52,8 +55,8 @@ class CacheStats:
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return (
             f"CacheStats(hits={self.hits}, misses={self.misses}, "
-            f"evictions={self.evictions}, size={self.size}/{self.capacity}, "
-            f"hit_rate={self.hit_rate:.2f})"
+            f"evictions={self.evictions}, invalidations={self.invalidations}, "
+            f"size={self.size}/{self.capacity}, hit_rate={self.hit_rate:.2f})"
         )
 
 
@@ -73,6 +76,7 @@ class LRUCache(Generic[K, V]):
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._invalidations = 0
 
     @property
     def capacity(self) -> int:
@@ -109,22 +113,57 @@ class LRUCache(Generic[K, V]):
             value = self._entries.get(key, _MISSING)
             return default if value is _MISSING else value
 
-    def put(self, key: K, value: V) -> None:
-        """Insert or refresh an entry, evicting the LRU entry when full."""
+    def put(self, key: K, value: V, guard: Callable[[], bool] | None = None) -> bool:
+        """Insert or refresh an entry, evicting the LRU entry when full.
+
+        ``guard`` (if given) is evaluated under the cache lock and the
+        insert is skipped when it returns ``False``.  The service uses
+        this to drop results computed concurrently with an invalidation
+        pass: the guard and the invalidation scan serialise on the lock,
+        so a stale value can never land *after* the scan that should have
+        removed it.  Returns whether the entry was stored.
+        """
         with self._lock:
+            if guard is not None and not guard():
+                return False
             if key in self._entries:
                 self._entries.move_to_end(key)
                 self._entries[key] = value
-                return
+                return True
             if len(self._entries) >= self._capacity:
                 self._entries.popitem(last=False)
                 self._evictions += 1
             self._entries[key] = value
+            return True
 
     def clear(self) -> None:
         """Drop every entry (statistics are kept)."""
         with self._lock:
             self._entries.clear()
+
+    def invalidate(self, key: K) -> bool:
+        """Drop one entry if present; ``True`` when something was removed."""
+        with self._lock:
+            if key not in self._entries:
+                return False
+            del self._entries[key]
+            self._invalidations += 1
+            return True
+
+    def invalidate_where(self, predicate: Callable[[K], bool]) -> list[K]:
+        """Drop every entry whose key satisfies ``predicate``.
+
+        Returns the removed keys (in least- to most-recently-used order) so
+        callers can selectively re-warm what was dropped.  The scan is
+        ``O(size)`` under the cache lock -- the cache is capacity-bounded,
+        so this stays cheap regardless of how much data was ingested.
+        """
+        with self._lock:
+            doomed = [key for key in self._entries if predicate(key)]
+            for key in doomed:
+                del self._entries[key]
+            self._invalidations += len(doomed)
+            return doomed
 
     def stats(self) -> CacheStats:
         """A consistent snapshot of the counters."""
@@ -135,7 +174,30 @@ class LRUCache(Generic[K, V]):
                 evictions=self._evictions,
                 size=len(self._entries),
                 capacity=self._capacity,
+                invalidations=self._invalidations,
             )
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return f"LRUCache({len(self)}/{self._capacity})"
+
+
+class EstimateCache(LRUCache[K, V]):
+    """An LRU cache keyed by service cache keys, with edge-level invalidation.
+
+    The service keys both of its caches by ``(path edge ids,
+    alpha-interval index, method)``.  This subclass exploits that shape:
+    :meth:`invalidate_edges` drops exactly the entries whose *path*
+    intersects a dirty edge set -- the targeted alternative to
+    ``clear()`` when new trajectories arrive on a few edges.
+    """
+
+    def invalidate_edges(self, edge_ids: Iterable[int]) -> list[K]:
+        """Drop entries whose path contains any of ``edge_ids``.
+
+        Returns the removed keys.  Entries for paths disjoint from the
+        dirty set are untouched (and stay cache hits).
+        """
+        dirty = frozenset(edge_ids)
+        if not dirty:
+            return []
+        return self.invalidate_where(lambda key: not dirty.isdisjoint(key[0]))

@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import replace
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Iterable, Sequence
 
 from ..config import ServiceParameters
@@ -47,7 +47,7 @@ from ..exceptions import ServiceError
 from ..roadnet.path import Path
 from ..timeutil import interval_of
 from .batch import BatchExecutor
-from .cache import CacheStats, LRUCache
+from .cache import CacheStats, EstimateCache
 from .requests import (
     SOURCE_BATCH_DEDUP,
     SOURCE_COMPUTED,
@@ -65,6 +65,45 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 CacheKey = tuple[tuple[int, ...], int, str]
 
 
+@dataclass(frozen=True)
+class InvalidationReport:
+    """What a targeted invalidation pass removed from the service's caches."""
+
+    #: Edges whose cost evidence changed (the dirty set that was applied).
+    dirty_edges: frozenset[int]
+    #: Result-cache keys that were dropped.
+    result_keys: tuple[CacheKey, ...]
+    #: Decomposition-cache keys that were dropped.
+    decomposition_keys: tuple[CacheKey, ...]
+
+    @property
+    def n_invalidated(self) -> int:
+        return len(self.result_keys) + len(self.decomposition_keys)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"InvalidationReport(dirty_edges={len(self.dirty_edges)}, "
+            f"results={len(self.result_keys)}, "
+            f"decompositions={len(self.decomposition_keys)})"
+        )
+
+
+class _EstimatorFamily:
+    """A base estimator plus its lazily built method variants.
+
+    Bundled so :meth:`CostEstimationService.rebase` can swap both with one
+    atomic reference assignment: a thread still computing against the old
+    family writes its variants into the old (discarded) dict and can never
+    leak an old-graph estimator into the rebased service.
+    """
+
+    __slots__ = ("base", "variants")
+
+    def __init__(self, base: PathCostEstimator) -> None:
+        self.base = base
+        self.variants: dict[str, PathCostEstimator] = {}
+
+
 class CostEstimationService:
     """Cached, batched, precomputed path-cost queries over a hybrid graph."""
 
@@ -74,17 +113,21 @@ class CostEstimationService:
         parameters: ServiceParameters | None = None,
     ) -> None:
         self.parameters = parameters or ServiceParameters()
-        self._base = estimator
+        self._family = _EstimatorFamily(estimator)
         #: Method served when a request does not override it; ``None`` in the
         #: configuration means "whatever the wrapped estimator runs", so the
         #: service stays a numerical drop-in for rank-capped or RD bases.
         self.default_method = self.parameters.default_method or estimator.method_name
-        self._estimators: dict[str, PathCostEstimator] = {}
         self._rd_lock = threading.Lock()
-        self._result_cache: LRUCache[CacheKey, CostEstimate] = LRUCache(
+        #: Bumped (under its lock) before every invalidation/rebase; cache
+        #: puts are guarded on it so an estimate computed concurrently with
+        #: an invalidation pass cannot re-insert a stale entry afterwards.
+        self._epoch = 0
+        self._epoch_lock = threading.Lock()
+        self._result_cache: EstimateCache[CacheKey, CostEstimate] = EstimateCache(
             self.parameters.result_cache_capacity
         )
-        self._decomposition_cache: LRUCache[CacheKey, PropagatedJoint] = LRUCache(
+        self._decomposition_cache: EstimateCache[CacheKey, PropagatedJoint] = EstimateCache(
             self.parameters.decomposition_cache_capacity
         )
         self._served = 0
@@ -105,12 +148,12 @@ class CostEstimationService:
     # ------------------------------------------------------------------ #
     @property
     def hybrid_graph(self) -> HybridGraph:
-        return self._base.hybrid_graph
+        return self._family.base.hybrid_graph
 
     @property
     def alpha_minutes(self) -> int:
         """The time-bucket width of the result cache (the paper's alpha)."""
-        return self._base.parameters.alpha_minutes
+        return self._family.base.parameters.alpha_minutes
 
     def cache_key(self, path: Path, departure_time_s: float, method: str | None = None) -> CacheKey:
         """The result/decomposition cache key of a query."""
@@ -135,8 +178,87 @@ class CostEstimationService:
 
     def clear_caches(self) -> None:
         """Drop all cached results and propagated joints."""
+        self._bump_epoch()
         self._result_cache.clear()
         self._decomposition_cache.clear()
+
+    # ------------------------------------------------------------------ #
+    # Invalidation (the write path's hook into the read path)
+    # ------------------------------------------------------------------ #
+    def _bump_epoch(self) -> None:
+        """Invalidate in-flight computations' right to populate the caches.
+
+        Bumped *before* entries are dropped: a concurrent ``put`` either
+        lands before the drop (and is dropped with the rest) or observes
+        the new epoch under the cache lock and skips itself.
+        """
+        with self._epoch_lock:
+            self._epoch += 1
+
+    def invalidate_edges(self, edge_ids: Iterable[int]) -> InvalidationReport:
+        """Drop cached entries whose path intersects ``edge_ids``.
+
+        The targeted alternative to :meth:`clear_caches` when new
+        trajectories arrive: a freshly observed trajectory can only change
+        the distributions of paths that share an edge with it, so entries
+        for disjoint paths remain valid (and remain cache hits).  Returns
+        the removed keys so callers can re-warm the hot ones.
+        """
+        dirty = frozenset(edge_ids)
+        self._bump_epoch()
+        return InvalidationReport(
+            dirty_edges=dirty,
+            result_keys=tuple(self._result_cache.invalidate_edges(dirty)),
+            decomposition_keys=tuple(self._decomposition_cache.invalidate_edges(dirty)),
+        )
+
+    def invalidate_where(self, predicate) -> InvalidationReport:
+        """Drop cached entries whose :data:`CacheKey` satisfies ``predicate``."""
+        self._bump_epoch()
+        return InvalidationReport(
+            dirty_edges=frozenset(),
+            result_keys=tuple(self._result_cache.invalidate_where(predicate)),
+            decomposition_keys=tuple(self._decomposition_cache.invalidate_where(predicate)),
+        )
+
+    def rebase(
+        self,
+        hybrid_graph: HybridGraph,
+        dirty_edges: Iterable[int] | None = None,
+    ) -> InvalidationReport:
+        """Swap in a re-instantiated hybrid graph and invalidate stale entries.
+
+        The ingest pipeline calls this after rebuilding the graph from a
+        store snapshot: the wrapped estimator (and every method variant) is
+        recreated with identical settings on the new graph, so subsequent
+        computations are numerically identical to a cold service built on
+        it.  With ``dirty_edges`` given, only entries intersecting the
+        dirty set are dropped; entries for untouched paths are kept, which
+        is sound because the builder seeds its histogram RNG per
+        (path, interval) -- a rebuilt graph assigns bit-identical
+        distributions to every variable whose observations did not change.
+        Pass ``None`` to drop everything.
+        """
+        if hybrid_graph.parameters.alpha_minutes != self.alpha_minutes:
+            raise ServiceError(
+                "cannot rebase onto a graph with a different alpha: cache keys "
+                f"bucket time by {self.alpha_minutes} min, graph uses "
+                f"{hybrid_graph.parameters.alpha_minutes} min"
+            )
+        base = self._family.base
+        self._family = _EstimatorFamily(
+            PathCostEstimator(
+                hybrid_graph,
+                parameters=base.parameters,
+                decomposition_strategy=base.decomposition_strategy,
+                max_aggregate_buckets=base.max_aggregate_buckets,
+                output_buckets=base.output_buckets,
+                seed=base.seed,
+            )
+        )
+        if dirty_edges is None:
+            return self.invalidate_where(lambda _key: True)
+        return self.invalidate_edges(dirty_edges)
 
     # ------------------------------------------------------------------ #
     # Single-query API
@@ -157,8 +279,9 @@ class CostEstimationService:
                 source=SOURCE_RESULT_CACHE,
                 latency_s=time.perf_counter() - started,
             )
-        estimate, source = self._compute(key, request.path, request.departure_time_s, method)
-        self._result_cache.put(key, estimate)
+        epoch = self._epoch
+        estimate, source = self._compute(key, request.path, request.departure_time_s, method, epoch)
+        self._result_cache.put(key, estimate, guard=lambda: self._epoch == epoch)
         if source == SOURCE_COMPUTED:
             self._computed += 1
         return EstimateResponse(
@@ -229,13 +352,14 @@ class CostEstimationService:
 
         workers = self.parameters.max_workers if max_workers is None else max_workers
         executor = BatchExecutor(max_workers=workers)
+        epoch = self._epoch
         work = {
-            key: (lambda k=key, q=query: self._compute(k, q[0], q[1], q[2]))
+            key: (lambda k=key, q=query: self._compute(k, q[0], q[1], q[2], epoch))
             for key, query in scheduled.items()
         }
         computed = executor.execute(work)
         for key, ((estimate, source), _duration) in computed.items():
-            self._result_cache.put(key, estimate)
+            self._result_cache.put(key, estimate, guard=lambda: self._epoch == epoch)
             if source == SOURCE_COMPUTED:
                 self._computed += 1
 
@@ -292,8 +416,14 @@ class CostEstimationService:
     # Internals
     # ------------------------------------------------------------------ #
     def _estimator_for(self, method: str) -> PathCostEstimator:
-        """The estimator variant implementing ``method`` (built once, reused)."""
-        variant = self._estimators.get(method)
+        """The estimator variant implementing ``method`` (built once, reused).
+
+        Variants live on the current :class:`_EstimatorFamily`; reading the
+        family once keeps base and variant dict consistent under a
+        concurrent :meth:`rebase`.
+        """
+        family = self._family
+        variant = family.variants.get(method)
         if variant is not None:
             return variant
         if method == "RD":
@@ -304,7 +434,7 @@ class CostEstimationService:
             strategy, max_rank = "coarsest", int(method[3:])
         else:
             raise ServiceError(f"unknown estimation method {method!r}")
-        base = self._base
+        base = family.base
         if base.decomposition_strategy == strategy and base.parameters.max_rank == max_rank:
             variant = base
         else:
@@ -316,17 +446,23 @@ class CostEstimationService:
                 output_buckets=base.output_buckets,
                 seed=base.seed,
             )
-        self._estimators[method] = variant
+        family.variants[method] = variant
         return variant
 
     def _compute(
-        self, key: CacheKey, path: Path, departure_time_s: float, method: str
+        self,
+        key: CacheKey,
+        path: Path,
+        departure_time_s: float,
+        method: str,
+        epoch: int | None = None,
     ) -> tuple[CostEstimate, str]:
         """Produce the estimate for a result-cache miss.
 
         Tries the decomposition cache first (re-running only the MC step);
         otherwise runs the full OI + JC + MC pipeline and stores the
-        propagated joint for later reuse.
+        propagated joint for later reuse.  ``epoch`` (when given) guards
+        the decomposition-cache insert against concurrent invalidation.
         """
         estimator = self._estimator_for(method)
         propagated = self._decomposition_cache.get(key)
@@ -347,7 +483,9 @@ class CostEstimationService:
         else:
             propagated = estimator.propagate(path, departure_time_s)
         after_oi_jc = time.perf_counter()
-        self._decomposition_cache.put(key, propagated)
+        self._decomposition_cache.put(
+            key, propagated, guard=None if epoch is None else (lambda: self._epoch == epoch)
+        )
         estimate = estimator.estimate_from_joint(propagated, path, departure_time_s)
         after_mc = time.perf_counter()
         estimate = replace(

@@ -7,17 +7,20 @@ from .simulator import TrafficSimulator
 from .mapmatching import HMMMapMatcher
 from .costs import ghg_emissions_g, travel_time_s
 from .store import TrajectoryStore
+from .mutable import MutableTrajectoryStore, TrajectorySnapshot
 
 __all__ = [
     "EdgeTraversal",
     "GPSRecord",
     "HMMMapMatcher",
     "MatchedTrajectory",
+    "MutableTrajectoryStore",
     "PathObservation",
     "TimeOfDayProfile",
     "TrafficModel",
     "TrafficSimulator",
     "Trajectory",
+    "TrajectorySnapshot",
     "TrajectoryStore",
     "ghg_emissions_g",
     "travel_time_s",

@@ -30,13 +30,17 @@ from .matched import MatchedTrajectory, PathObservation
 
 
 class TrajectoryStore:
-    """An in-memory, indexed collection of matched trajectories."""
+    """An in-memory, indexed collection of matched trajectories.
 
-    def __init__(self, trajectories: Iterable[MatchedTrajectory]) -> None:
+    A store may be empty: an ingest-fed deployment starts with no history
+    and fills up as vehicles report in (see
+    :class:`~repro.trajectories.mutable.MutableTrajectoryStore`).
+    """
+
+    def __init__(self, trajectories: Iterable[MatchedTrajectory] = ()) -> None:
         self._trajectories = list(trajectories)
-        if not self._trajectories:
-            raise TrajectoryError("the trajectory store needs at least one trajectory")
-        # Inverted index: edge id -> list of (trajectory index, position in path).
+        # Inverted index: edge id -> list of (trajectory index, position in path),
+        # ordered by trajectory index.
         self._edge_index: dict[int, list[tuple[int, int]]] = defaultdict(list)
         for trajectory_index, trajectory in enumerate(self._trajectories):
             for position, edge_id in enumerate(trajectory.edge_ids):
@@ -63,15 +67,17 @@ class TrajectoryStore:
     def without_trajectories(self, trajectory_ids: set[int]) -> "TrajectoryStore":
         """A store excluding the given trajectory ids (used for held-out evaluation)."""
         remaining = [t for t in self._trajectories if t.trajectory_id not in trajectory_ids]
-        if not remaining:
-            raise TrajectoryError("excluding these trajectories would empty the store")
         return TrajectoryStore(remaining)
 
     def subset(self, fraction: float, seed: int = 0) -> "TrajectoryStore":
-        """A store holding a random ``fraction`` of the trajectories (at least one)."""
+        """A store holding a random ``fraction`` of the trajectories.
+
+        A non-empty store yields at least one trajectory; an empty store
+        yields an empty subset.
+        """
         if not 0.0 < fraction <= 1.0:
             raise TrajectoryError(f"fraction must be in (0, 1], got {fraction}")
-        if fraction == 1.0:
+        if fraction == 1.0 or not self._trajectories:
             return TrajectoryStore(self._trajectories)
         rng = np.random.default_rng(seed)
         count = max(1, int(round(len(self._trajectories) * fraction)))
@@ -178,7 +184,7 @@ class TrajectoryStore:
 
     def merge(self, other: "TrajectoryStore") -> "TrajectoryStore":
         """A store holding the union of both stores' trajectories."""
-        return TrajectoryStore(self._trajectories + other._trajectories)
+        return TrajectoryStore(list(self._trajectories) + list(other._trajectories))
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return (

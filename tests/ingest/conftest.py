@@ -1,0 +1,63 @@
+"""Fixtures for the ingest subsystem tests: a small city with a base
+history and a held-back stream of "live" trajectories."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    EstimatorParameters,
+    HMMMapMatcher,
+    HybridGraphBuilder,
+    SimulationParameters,
+    TrafficSimulator,
+    grid_network,
+)
+
+
+@pytest.fixture(scope="session")
+def ingest_network():
+    return grid_network(5, 5, block_length_m=200.0, arterial_every=2, name="ingest-grid")
+
+
+@pytest.fixture(scope="session")
+def ingest_simulator(ingest_network) -> TrafficSimulator:
+    return TrafficSimulator(
+        ingest_network,
+        SimulationParameters(n_trajectories=160, popular_route_count=6, seed=7),
+    )
+
+
+@pytest.fixture(scope="session")
+def base_trajectories(ingest_simulator):
+    """The historical batch an ingest-fed deployment starts from."""
+    return ingest_simulator.generate(110)
+
+
+@pytest.fixture(scope="session")
+def stream_trajectories(ingest_simulator, base_trajectories):
+    """The live stream (generated after the base so ids do not overlap)."""
+    del base_trajectories  # ordering only: consume the simulator RNG first
+    return ingest_simulator.generate(25)
+
+
+@pytest.fixture(scope="session")
+def ingest_estimator_parameters() -> EstimatorParameters:
+    return EstimatorParameters(beta=10)
+
+
+@pytest.fixture
+def builder_factory(ingest_network, ingest_estimator_parameters):
+    """A fresh-builder factory, as the pipeline requires for refreshes."""
+
+    def factory() -> HybridGraphBuilder:
+        return HybridGraphBuilder(
+            ingest_network, ingest_estimator_parameters, max_cardinality=4, seed=0
+        )
+
+    return factory
+
+
+@pytest.fixture(scope="session")
+def ingest_matcher(ingest_network) -> HMMMapMatcher:
+    return HMMMapMatcher(ingest_network)

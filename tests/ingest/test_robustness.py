@@ -1,0 +1,185 @@
+"""Map-matching robustness on ingest-shaped input.
+
+Real probe streams contain duplicate and out-of-order timestamps,
+single-point traces, and points far off the network.  The pipeline must
+normalise what it can, skip what it cannot (with a recorded reason), and
+never crash.
+"""
+
+import pytest
+
+from repro import (
+    IngestParameters,
+    MapMatchingError,
+    MutableTrajectoryStore,
+    Trajectory,
+    TrajectoryError,
+    TrajectoryIngestPipeline,
+)
+from repro.ingest import (
+    REASON_TOO_FEW_RECORDS,
+    REASON_UNMATCHABLE,
+    normalize_gps_records,
+)
+from repro.roadnet.spatial import Point
+from repro.trajectories.gps import GPSRecord
+
+
+def record(x, y, t):
+    return GPSRecord(Point(float(x), float(y)), float(t))
+
+
+@pytest.fixture
+def gps_pipeline(ingest_matcher):
+    return TrajectoryIngestPipeline(MutableTrajectoryStore(), matcher=ingest_matcher)
+
+
+@pytest.fixture(scope="session")
+def live_gps(ingest_simulator):
+    gps, _matched = ingest_simulator.generate_gps(6)
+    return gps
+
+
+class TestNormalization:
+    def test_sorts_out_of_order_records(self):
+        records = [record(0, 0, 30.0), record(10, 0, 10.0), record(20, 0, 20.0)]
+        trajectory = normalize_gps_records(1, records)
+        assert [r.time_s for r in trajectory.records] == [10.0, 20.0, 30.0]
+
+    def test_drops_duplicate_timestamps_keeping_first(self):
+        records = [record(0, 0, 10.0), record(5, 0, 10.0), record(10, 0, 20.0)]
+        trajectory = normalize_gps_records(1, records)
+        assert len(trajectory) == 2
+        assert trajectory.records[0].location.x == 0.0
+
+    def test_single_point_raises(self):
+        with pytest.raises(TrajectoryError):
+            normalize_gps_records(1, [record(0, 0, 10.0)])
+
+    def test_all_duplicates_raise(self):
+        records = [record(0, 0, 10.0), record(1, 0, 10.0), record(2, 0, 10.0)]
+        with pytest.raises(TrajectoryError):
+            normalize_gps_records(1, records)
+
+
+class TestPipelineRobustness:
+    def test_out_of_order_and_duplicate_timestamps_are_matched(self, gps_pipeline, live_gps):
+        """A shuffled, duplicated record stream still produces a match."""
+        source = live_gps[0]
+        records = list(source.records)
+        messy = [records[0]] + records[:0:-1] + [records[1]]  # reversed tail + a duplicate
+        result = gps_pipeline.ingest((source.trajectory_id, messy))
+        assert result.accepted
+        assert result.matched is not None
+        assert len(result.dirty_edges) >= 1
+
+    def test_single_point_trajectory_is_skipped_with_reason(self, gps_pipeline):
+        result = gps_pipeline.ingest((7001, [record(100, 100, 5.0)]))
+        assert not result.accepted
+        assert result.reason == REASON_TOO_FEW_RECORDS
+        assert "7001" in result.detail
+
+    def test_far_off_network_points_are_skipped_with_reason(self, gps_pipeline):
+        off_network = Trajectory(
+            7002, [record(1e7, 1e7, 1.0), record(1e7 + 40, 1e7, 6.0)]
+        )
+        result = gps_pipeline.ingest(off_network)
+        assert not result.accepted
+        assert result.reason == REASON_UNMATCHABLE
+
+    def test_raise_policy_propagates_map_matching_error(self, ingest_matcher):
+        pipeline = TrajectoryIngestPipeline(
+            MutableTrajectoryStore(),
+            matcher=ingest_matcher,
+            parameters=IngestParameters(match_failure_policy="raise"),
+        )
+        off_network = Trajectory(
+            7003, [record(1e7, 1e7, 1.0), record(1e7 + 40, 1e7, 6.0)]
+        )
+        with pytest.raises(MapMatchingError):
+            pipeline.ingest(off_network)
+
+    def test_mixed_stream_never_crashes_and_accounts_for_everything(
+        self, ingest_matcher, live_gps
+    ):
+        """Streaming a poisoned mix through queue workers: every item ends
+        up accepted or skipped with a reason; the pipeline survives."""
+        store = MutableTrajectoryStore()
+        pipeline = TrajectoryIngestPipeline(
+            store,
+            matcher=ingest_matcher,
+            parameters=IngestParameters(n_workers=2, queue_capacity=4),
+        )
+        poisoned = [
+            live_gps[1],
+            (7103, [record(0, 0, 5.0)]),  # single point
+            Trajectory(7104, [record(1e7, 1e7, 1.0), record(1e7 + 40, 1e7, 6.0)]),
+            (7105, [record(0, 0, 9.0), record(0, 1, 9.0), record(0, 2, 9.0)]),  # all dupes
+            live_gps[2],
+        ]
+        with pipeline:
+            for item in poisoned:
+                pipeline.submit(item)
+            pipeline.drain()
+        stats = pipeline.stats()
+        assert stats.submitted == len(poisoned)
+        assert stats.accepted + stats.skipped == len(poisoned)
+        assert stats.accepted == 2
+        assert stats.skip_reasons[REASON_TOO_FEW_RECORDS] == 2
+        assert stats.skip_reasons[REASON_UNMATCHABLE] == 1
+        assert len(store) == 2
+        skipped_ids = {result.trajectory_id for result in pipeline.recent_skips()}
+        assert skipped_ids == {7103, 7104, 7105}
+
+    def test_worker_survives_non_repro_errors(self, ingest_matcher, live_gps):
+        """Inputs raising outside the ReproError hierarchy (bad ids, wrong
+        types) must not kill a worker -- a dead worker strands the queue."""
+        store = MutableTrajectoryStore()
+        pipeline = TrajectoryIngestPipeline(
+            store,
+            matcher=ingest_matcher,
+            parameters=IngestParameters(n_workers=1, queue_capacity=4),
+        )
+        with pipeline:
+            pipeline.submit(("vehicle-7", [record(0, 0, 1.0), record(5, 0, 6.0)]))
+            pipeline.submit(42)  # not an ingestible shape at all
+            pipeline.submit(live_gps[5])  # the worker must still be alive for this
+            pipeline.drain()
+        stats = pipeline.stats()
+        assert stats.accepted == 1
+        assert stats.skip_reasons["ingest-error"] == 2
+        assert len(store) == 1
+
+    def test_streaming_raise_policy_still_records_real_reason(self, ingest_matcher):
+        """On a worker thread there is no caller to re-raise to: failures
+        are recorded under their true reason even with policy='raise'."""
+        pipeline = TrajectoryIngestPipeline(
+            MutableTrajectoryStore(),
+            matcher=ingest_matcher,
+            parameters=IngestParameters(
+                n_workers=1, queue_capacity=4, match_failure_policy="raise"
+            ),
+        )
+        off_network = Trajectory(
+            7301, [record(1e7, 1e7, 1.0), record(1e7 + 40, 1e7, 6.0)]
+        )
+        with pipeline:
+            pipeline.submit(off_network)
+            pipeline.submit((7302, [record(0, 0, 5.0)]))
+            pipeline.drain()
+        stats = pipeline.stats()
+        assert stats.skip_reasons == {
+            REASON_UNMATCHABLE: 1,
+            REASON_TOO_FEW_RECORDS: 1,
+        }
+        assert {r.trajectory_id for r in pipeline.recent_skips()} == {7301, 7302}
+
+    def test_batch_report_interleaves_skips_in_order(self, ingest_matcher, live_gps):
+        pipeline = TrajectoryIngestPipeline(MutableTrajectoryStore(), matcher=ingest_matcher)
+        report = pipeline.ingest_batch(
+            [live_gps[3], (7201, [record(0, 0, 5.0)]), live_gps[4]]
+        )
+        assert [r.accepted for r in report.results] == [True, False, True]
+        assert report.results[1].reason == REASON_TOO_FEW_RECORDS
+        assert report.n_accepted == 2
+        assert report.n_skipped == 1

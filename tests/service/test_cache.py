@@ -3,7 +3,7 @@
 import pytest
 
 from repro import ServiceError
-from repro.service import BatchExecutor, LRUCache
+from repro.service import BatchExecutor, EstimateCache, LRUCache
 
 
 class TestLRUCache:
@@ -77,6 +77,66 @@ class TestLRUCache:
 
     def test_hit_rate_without_requests(self):
         assert LRUCache(capacity=1).stats().hit_rate == 0.0
+
+    def test_invalidate_single_key(self):
+        cache = LRUCache(capacity=4)
+        cache.put("a", 1)
+        assert cache.invalidate("a")
+        assert not cache.invalidate("a")
+        assert "a" not in cache
+        stats = cache.stats()
+        assert stats.invalidations == 1
+        assert stats.evictions == 0
+
+    def test_put_guard_is_checked_under_the_lock(self):
+        cache = LRUCache(capacity=4)
+        assert not cache.put("a", 1, guard=lambda: False)
+        assert "a" not in cache
+        assert cache.put("a", 1, guard=lambda: True)
+        assert cache.peek("a") == 1
+
+    def test_invalidate_where_returns_removed_keys(self):
+        cache = LRUCache(capacity=8)
+        for key in ("ant", "bee", "cat", "cow"):
+            cache.put(key, key.upper())
+        removed = cache.invalidate_where(lambda key: key.startswith("c"))
+        assert sorted(removed) == ["cat", "cow"]
+        assert len(cache) == 2
+        assert cache.stats().invalidations == 2
+        assert cache.peek("ant") == "ANT"
+
+
+class TestEstimateCache:
+    """Edge-level invalidation over (path edges, interval, method) keys."""
+
+    @staticmethod
+    def key(edges, interval=16, method="OD"):
+        return (tuple(edges), interval, method)
+
+    def test_invalidate_edges_drops_only_intersecting_paths(self):
+        cache = EstimateCache(capacity=8)
+        cache.put(self.key([1, 2, 3]), "a")
+        cache.put(self.key([4, 5]), "b")
+        cache.put(self.key([5, 6]), "c")
+        removed = cache.invalidate_edges({5})
+        assert sorted(key[0] for key in removed) == [(4, 5), (5, 6)]
+        assert self.key([1, 2, 3]) in cache
+        assert self.key([4, 5]) not in cache
+        assert cache.stats().invalidations == 2
+
+    def test_same_path_different_intervals_all_dropped(self):
+        cache = EstimateCache(capacity=8)
+        cache.put(self.key([1, 2], interval=10), "x")
+        cache.put(self.key([1, 2], interval=11), "y")
+        removed = cache.invalidate_edges({2})
+        assert len(removed) == 2
+
+    def test_empty_dirty_set_is_a_noop(self):
+        cache = EstimateCache(capacity=4)
+        cache.put(self.key([1, 2]), "x")
+        assert cache.invalidate_edges(set()) == []
+        assert len(cache) == 1
+        assert cache.stats().invalidations == 0
 
 
 class TestBatchExecutor:

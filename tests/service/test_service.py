@@ -274,3 +274,63 @@ class TestRoutingIntegration:
         # A repeated query is answered from the cache.
         query.best_path(service, candidates)
         assert service.result_cache_stats().hits >= len(candidates)
+
+
+class TestInvalidation:
+    def test_invalidate_edges_is_targeted(self, service, busy_query):
+        from repro import Path
+
+        path, departure = busy_query
+        disjoint = Path(list(path.edge_ids[1:3]))  # does not contain the first edge
+        service.submit(EstimateRequest(path, departure))
+        service.submit(EstimateRequest(disjoint, departure))
+
+        report = service.invalidate_edges({path.edge_ids[0]})
+        assert path.edge_ids in {key[0] for key in report.result_keys}
+
+        kept = service.submit(EstimateRequest(disjoint, departure))
+        assert kept.cache_hit
+        assert kept.source == SOURCE_RESULT_CACHE
+        dropped = service.submit(EstimateRequest(path, departure))
+        assert dropped.source == SOURCE_COMPUTED
+
+    def test_invalidation_counts_in_stats(self, service, busy_query):
+        path, departure = busy_query
+        service.submit(EstimateRequest(path, departure))
+        service.invalidate_edges(set(path.edge_ids))
+        stats = service.stats()
+        assert stats["result_cache"].invalidations == 1
+        assert stats["decomposition_cache"].invalidations == 1
+
+    def test_rebase_keeps_disjoint_entries_and_recomputes_identically(
+        self, service, busy_query
+    ):
+        from repro import Path
+
+        path, departure = busy_query
+        disjoint = Path(list(path.edge_ids[1:3]))
+        before = service.submit(EstimateRequest(path, departure)).estimate
+        service.submit(EstimateRequest(disjoint, departure))
+
+        # Rebase onto the same graph: a refresh where only the dirty set matters.
+        service.rebase(service.hybrid_graph, dirty_edges={path.edge_ids[0]})
+        kept = service.submit(EstimateRequest(disjoint, departure))
+        assert kept.cache_hit
+        recomputed = service.submit(EstimateRequest(path, departure))
+        assert recomputed.source == SOURCE_COMPUTED
+        assert_estimates_identical(before, recomputed.estimate)
+
+    def test_rebase_without_dirty_set_clears_everything(self, service, busy_query):
+        path, departure = busy_query
+        service.submit(EstimateRequest(path, departure))
+        report = service.rebase(service.hybrid_graph, dirty_edges=None)
+        assert report.n_invalidated >= 1
+        assert service.result_cache_stats().size == 0
+
+    def test_rebase_rejects_alpha_mismatch(self, service, small_network):
+        from repro import EstimatorParameters
+        from repro.core.hybrid_graph import HybridGraph
+
+        other = HybridGraph(small_network, EstimatorParameters(alpha_minutes=60))
+        with pytest.raises(ServiceError):
+            service.rebase(other)

@@ -38,9 +38,19 @@ class TestBasics:
         assert len(toy_store) == 10
         assert toy_store.covered_edges() == {1, 2, 3, 4, 5, 6}
 
-    def test_empty_store_rejected(self):
-        with pytest.raises(TrajectoryError):
-            TrajectoryStore([])
+    def test_empty_store_allowed(self):
+        """An ingest-fed store starts empty; every read degrades gracefully."""
+        empty = TrajectoryStore()
+        assert len(empty) == 0
+        assert empty.covered_edges() == set()
+        assert empty.total_edge_traversals() == 0
+        assert empty.unit_paths() == []
+        assert empty.observations_on(Path([1, 2])) == []
+        assert empty.frequent_subpath_counts(2) == {}
+        assert empty.max_trajectories_by_cardinality(3) == {1: 0, 2: 0, 3: 0}
+        assert len(empty.subset(0.5)) == 0
+        assert len(empty.merge(empty)) == 0
+        assert len(empty.without_trajectories({1})) == 0
 
     def test_total_edge_traversals(self, toy_store):
         assert toy_store.total_edge_traversals() == 4 * 2 + 3 * 2 + 3 * 3 + 2 * 3
@@ -50,8 +60,9 @@ class TestBasics:
         assert len(half) == 5
         smaller = toy_store.without_trajectories({1, 2, 3})
         assert len(smaller) == 7
-        with pytest.raises(TrajectoryError):
-            toy_store.without_trajectories(set(range(1, 11)))
+        emptied = toy_store.without_trajectories(set(range(1, 11)))
+        assert len(emptied) == 0
+        assert emptied.covered_edges() == set()
 
     def test_merge(self, toy_store):
         merged = toy_store.merge(toy_store.subset(0.5, seed=1))
