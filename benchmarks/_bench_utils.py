@@ -1,10 +1,42 @@
-"""Helpers shared by the benchmark files (result persistence, single-run timing)."""
+"""Helpers shared by the benchmark files (result persistence, single-run timing).
+
+Besides the rendered text tables, benchmarks can persist structured JSON
+results via :func:`write_result_json`; every JSON payload is stamped with
+the numpy / BLAS / platform environment (:func:`numpy_environment`) so perf
+trajectories recorded on different machines or BLAS builds stay comparable.
+"""
 
 from __future__ import annotations
 
+import json
+import platform
+import sys
 from pathlib import Path
 
+import numpy as np
+
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def numpy_environment() -> dict:
+    """The numpy/BLAS/platform facts that shape kernel performance."""
+    try:
+        blas = np.__config__.CONFIG.get("Build Dependencies", {}).get("blas", {})
+        blas_info = {
+            "name": blas.get("name", "unknown"),
+            "found": blas.get("found", False),
+            "version": blas.get("version", "unknown"),
+        }
+    except Exception:  # pragma: no cover - config layout varies by build
+        blas_info = {"name": "unknown"}
+    return {
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "blas": blas_info,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "processor": platform.processor() or "unknown",
+    }
 
 
 def write_result(name: str, text: str) -> None:
@@ -13,6 +45,15 @@ def write_result(name: str, text: str) -> None:
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text + "\n")
     print(f"\n{text}\n[written to {path}]")
+
+
+def write_result_json(name: str, payload: dict) -> None:
+    """Persist structured benchmark results with the environment stamped in."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    document = {"environment": numpy_environment(), **payload}
+    path.write_text(json.dumps(document, indent=2, sort_keys=False) + "\n")
+    print(f"[json written to {path}]")
 
 
 def run_once(benchmark, function):

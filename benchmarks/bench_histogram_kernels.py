@@ -1,0 +1,257 @@
+"""Histogram kernel throughput: vectorised array kernels vs the seed loops.
+
+Two measurements, mirroring the two levels the array-native refactor
+touches:
+
+* **single-pair convolution** -- ``Histogram1D.convolve`` (one vectorised
+  kernel pass) against the retained pure-Python reference
+  (:func:`repro.histograms.reference.reference_convolve`, the seed's
+  bucket-pair loops).  Acceptance: >= 5x throughput.
+* **end-to-end path estimation** -- a Figure-16-style workload (query
+  paths of growing cardinality over a unit-variable hybrid graph, so both
+  pipelines fold the same per-edge histograms) pushed through the batched
+  estimation service with the warm cache disabled (fresh service, every
+  key distinct, computed exactly once), against the seed pipeline driven
+  by the reference kernels (per-step rearrange + truncate loops, final
+  collapse).  Acceptance: >= 3x speedup.
+
+Both pipelines run the identical OI step (decomposition selection) and
+fold the identical per-edge histograms; every reference estimate is
+checked for mean agreement with the service's result, so both sides
+demonstrably do the same work.
+
+Results are written to ``benchmarks/results/histogram_kernels.txt`` and,
+with the numpy/BLAS environment stamped in, ``histogram_kernels.json``.
+
+Run ``PYTHONPATH=src python benchmarks/bench_histogram_kernels.py`` (add
+``--smoke`` for the CI budget configuration).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro import (
+    CostEstimationService,
+    EstimateRequest,
+    EstimatorParameters,
+    PathCostEstimator,
+    ServiceParameters,
+)
+from repro.eval import build_dataset
+from repro.histograms import Histogram1D
+from repro.histograms.reference import (
+    reference_coarsen,
+    reference_convolve,
+    reference_convolve_many,
+    reference_mean,
+)
+
+from _bench_utils import write_result, write_result_json
+
+PRESETS = {
+    "smoke": dict(
+        n_trajectories=2000,
+        scale=0.35,
+        cardinalities=(30,),
+        n_paths=3,
+        convolve_buckets=32,
+        convolve_rounds=40,
+        reference_rounds=5,
+    ),
+    "default": dict(
+        n_trajectories=2000,
+        scale=0.35,
+        cardinalities=(20, 40, 60),
+        n_paths=4,
+        convolve_buckets=64,
+        convolve_rounds=200,
+        reference_rounds=20,
+    ),
+}
+
+
+def build_convolution_pair(n_buckets: int, seed: int = 0) -> tuple[Histogram1D, Histogram1D]:
+    """Two realistic travel-cost histograms (gamma-shaped, n_buckets each)."""
+    rng = np.random.default_rng(seed)
+    histograms = []
+    for _ in range(2):
+        values = rng.gamma(4.0, 30.0, 4000) + 10.0
+        edges = np.linspace(values.min(), values.max() + 1e-6, n_buckets + 1)
+        histograms.append(Histogram1D.from_values(values, list(edges)))
+    return histograms[0], histograms[1]
+
+
+def as_cells(histogram: Histogram1D) -> list[tuple[float, float, float]]:
+    return [
+        (float(low), float(high), float(prob))
+        for low, high, prob in zip(histogram.lows, histogram.highs, histogram.probabilities)
+    ]
+
+
+def bench_convolution(preset: dict) -> dict:
+    """Single-pair convolution throughput, kernels vs reference loops."""
+    first, second = build_convolution_pair(preset["convolve_buckets"])
+    first_cells, second_cells = as_cells(first), as_cells(second)
+
+    rounds = preset["convolve_rounds"]
+    first.convolve(second)  # warm any lazy state outside the timed region
+    started = time.perf_counter()
+    for _ in range(rounds):
+        first.convolve(second)
+    kernel_elapsed = time.perf_counter() - started
+
+    reference_rounds = preset["reference_rounds"]
+    started = time.perf_counter()
+    for _ in range(reference_rounds):
+        reference_convolve(first_cells, second_cells)
+    reference_elapsed = time.perf_counter() - started
+
+    kernel_per_call = kernel_elapsed / rounds
+    reference_per_call = reference_elapsed / reference_rounds
+    return {
+        "buckets": preset["convolve_buckets"],
+        "kernel_us_per_convolve": kernel_per_call * 1e6,
+        "reference_us_per_convolve": reference_per_call * 1e6,
+        "kernel_convolutions_per_s": 1.0 / kernel_per_call,
+        "reference_convolutions_per_s": 1.0 / reference_per_call,
+        "speedup": reference_per_call / kernel_per_call,
+    }
+
+
+def reference_estimate(estimator: PathCostEstimator, path, departure: float):
+    """The seed pipeline on a unit-chain decomposition, via the loop kernels.
+
+    Mirrors what the seed implementation computed for a rank-1
+    decomposition: fold the element cost histograms with per-step
+    rearrangement capped at ``max_aggregate_buckets``, then collapse to
+    ``output_buckets``.
+    """
+    decomposition = estimator.select_decomposition(path, departure)
+    legs = [as_cells(element.variable.cost_distribution()) for element in decomposition.elements]
+    folded = reference_convolve_many(legs, max_buckets=estimator.max_aggregate_buckets)
+    return reference_coarsen(folded, estimator.output_buckets)
+
+
+def bench_end_to_end(preset: dict) -> dict:
+    """Fig16-style batched service estimation vs the reference pipeline."""
+    dataset = build_dataset(
+        "aalborg",
+        n_trajectories=preset["n_trajectories"],
+        scale=preset["scale"],
+        seed=7,
+        parameters=EstimatorParameters(beta=20),
+        max_cardinality=1,
+    )
+    graph = dataset.hybrid_graph()
+    estimator = PathCostEstimator(graph)
+
+    per_cardinality = {}
+    total_new = 0.0
+    total_reference_estimated = 0.0
+    n_queries_total = 0
+    for index, cardinality in enumerate(preset["cardinalities"]):
+        queries = dataset.query_workload(cardinality, preset["n_paths"], seed=index + 1)
+        if not queries:
+            continue
+
+        # New side: a fresh service (cold caches), synchronous batch; every
+        # request is a distinct cache key, so nothing is served warm.
+        service = CostEstimationService(estimator, ServiceParameters(max_workers=0))
+        requests = [EstimateRequest(path, departure) for path, departure in queries]
+        started = time.perf_counter()
+        responses = service.submit_batch(requests)
+        new_elapsed = time.perf_counter() - started
+        assert all(response.source == "computed" for response in responses), (
+            "warm-cache-disabled pass unexpectedly hit a cache"
+        )
+
+        # Reference side: the full workload through the loop kernels; every
+        # estimate must agree with the service's.
+        started = time.perf_counter()
+        reference_results = [
+            reference_estimate(estimator, path, departure) for path, departure in queries
+        ]
+        reference_elapsed = time.perf_counter() - started
+        max_drift = 0.0
+        for response, reference_cells in zip(responses, reference_results):
+            new_mean = response.estimate.mean
+            drift = abs(reference_mean(reference_cells) - new_mean) / max(abs(new_mean), 1e-9)
+            max_drift = max(max_drift, drift)
+        assert max_drift < 0.02, f"pipelines diverged: relative mean drift {max_drift:.4f}"
+
+        total_new += new_elapsed
+        total_reference_estimated += reference_elapsed
+        n_queries_total += len(queries)
+        per_cardinality[cardinality] = {
+            "n_queries": len(queries),
+            "new_ms_per_query": new_elapsed / len(queries) * 1e3,
+            "reference_ms_per_query": reference_elapsed / len(queries) * 1e3,
+            "speedup": reference_elapsed / new_elapsed,
+            "mean_drift": max_drift,
+        }
+
+    return {
+        "per_cardinality": per_cardinality,
+        "n_queries": n_queries_total,
+        "new_total_s": total_new,
+        "reference_total_s": total_reference_estimated,
+        "speedup": total_reference_estimated / total_new if total_new > 0 else float("nan"),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="CI budget mode (small workload, same assertions)"
+    )
+    args = parser.parse_args(argv)
+    preset_name = "smoke" if args.smoke else "default"
+    preset = PRESETS[preset_name]
+
+    convolution = bench_convolution(preset)
+    end_to_end = bench_end_to_end(preset)
+
+    lines = [
+        f"histogram kernel throughput ({preset_name} preset)",
+        "",
+        f"single-pair convolution ({convolution['buckets']} buckets each):",
+        f"  vectorised kernel : {convolution['kernel_convolutions_per_s']:10.0f} convolutions/s "
+        f"({convolution['kernel_us_per_convolve']:8.1f} us/call)",
+        f"  python reference  : {convolution['reference_convolutions_per_s']:10.0f} convolutions/s "
+        f"({convolution['reference_us_per_convolve']:8.1f} us/call)",
+        f"  speedup           : {convolution['speedup']:10.1f} x  (acceptance: >= 5x)",
+        "",
+        "end-to-end path estimation (fig16-style, batched service, warm cache disabled):",
+    ]
+    for cardinality, row in end_to_end["per_cardinality"].items():
+        lines.append(
+            f"  |P| = {cardinality:3d}: service {row['new_ms_per_query']:8.2f} ms/query, "
+            f"reference {row['reference_ms_per_query']:8.2f} ms/query "
+            f"-> {row['speedup']:6.1f}x (mean drift {row['mean_drift']:.2%})"
+        )
+    lines += [
+        f"  overall speedup   : {end_to_end['speedup']:10.1f} x  (acceptance: >= 3x) "
+        f"over {end_to_end['n_queries']} queries",
+    ]
+    write_result("histogram_kernels", "\n".join(lines))
+    write_result_json(
+        "histogram_kernels",
+        {"preset": preset_name, "convolution": convolution, "end_to_end": end_to_end},
+    )
+
+    assert convolution["speedup"] >= 5.0, (
+        f"convolution speedup only {convolution['speedup']:.1f}x (need >= 5x)"
+    )
+    assert end_to_end["speedup"] >= 3.0, (
+        f"end-to-end speedup only {end_to_end['speedup']:.1f}x (need >= 3x)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

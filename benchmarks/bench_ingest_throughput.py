@@ -46,7 +46,7 @@ from repro import (
 )
 from repro.service.requests import SOURCE_COMPUTED, SOURCE_RESULT_CACHE
 
-from _bench_utils import write_result
+from _bench_utils import write_result, write_result_json
 
 PRESETS = {
     "tiny": dict(grid=5, base=80, stream=640, gps=20, beta=10, max_cardinality=4, blocks=4),
@@ -194,6 +194,19 @@ def main(argv=None) -> int:
         "post-ingest estimates on affected paths identical to cold rebuild: yes",
     ]
     write_result("ingest_throughput", "\n".join(lines))
+    write_result_json(
+        "ingest_throughput",
+        {
+            "preset": args.preset,
+            "append_rate_tps": append_rate,
+            "gps_rate_tps": gps_rate,
+            "block_times_ms": [t * 1e3 for t in block_times],
+            "slowdown_last_over_first": slowdown,
+            "ingest_refresh_pass_s": live_elapsed,
+            "invalidated_results": stats.invalidated_results,
+            "invalidated_decompositions": stats.invalidated_decompositions,
+        },
+    )
     return 0
 
 

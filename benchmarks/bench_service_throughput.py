@@ -37,7 +37,7 @@ from repro import (
     grid_network,
 )
 
-from _bench_utils import write_result
+from _bench_utils import write_result, write_result_json
 
 PRESETS = {
     "tiny": dict(grid=5, n_trajectories=250, beta=10, max_cardinality=4, repeats=5),
@@ -145,6 +145,20 @@ def main(argv=None) -> int:
         "service results numerically identical to direct estimates: yes",
     ]
     write_result("service_throughput", "\n".join(lines))
+    write_result_json(
+        "service_throughput",
+        {
+            "preset": args.preset,
+            "n_queries": len(queries),
+            "repeats": repeats,
+            "cold_qps": cold_qps,
+            "warm_qps": warm_qps,
+            "cold_latency_ms": cold_latency * 1e3,
+            "warm_latency_ms": warm_latency * 1e3,
+            "speedup": speedup,
+            "result_cache_hit_rate": results.hit_rate,
+        },
+    )
     return 0
 
 

@@ -24,7 +24,7 @@ from ..exceptions import EstimationError
 from ..histograms.autobuckets import build_auto_histogram
 from ..histograms.divergence import entropy_of_histogram
 from ..histograms.raw import RawDistribution
-from ..histograms.univariate import Histogram1D
+from ..histograms.univariate import Histogram1D, convolve_many
 from ..roadnet.path import Path
 from ..timeutil import interval_of
 from ..trajectories.store import TrajectoryStore
@@ -32,7 +32,6 @@ from .decomposition import pairwise_decomposition
 from .estimator import CostEstimate, PathCostEstimator
 from .hybrid_graph import HybridGraph
 from .joint import propagate_joint
-from .marginal import collapse_to_cost_histogram
 from .relevance import build_candidate_array
 
 
@@ -108,24 +107,26 @@ class LegacyBaseline:
         self.output_buckets = output_buckets
 
     def estimate(self, path: Path, departure_time_s: float) -> CostEstimate:
-        """Convolve the per-edge distributions, updating the arrival time per edge."""
+        """Convolve the per-edge distributions, updating the arrival time per edge.
+
+        The arrival clock only needs each edge distribution's *mean*, so the
+        per-edge distributions are gathered first and folded with one
+        :func:`~repro.histograms.univariate.convolve_many` pass (final
+        truncation, no per-step regridding drift).
+        """
         started = time.perf_counter()
         alpha = self.parameters.alpha_minutes
         clock = float(departure_time_s)
-        result: Histogram1D | None = None
+        distributions: list[Histogram1D] = []
         entropy = 0.0
         for edge_id in path.edge_ids:
             interval = interval_of(clock, alpha)
             variable = self.hybrid_graph.unit_variable(edge_id, interval)
             distribution = variable.cost_distribution()
             entropy += entropy_of_histogram(distribution)
-            result = (
-                distribution
-                if result is None
-                else result.convolve(distribution, max_buckets=self.output_buckets)
-            )
+            distributions.append(distribution)
             clock += distribution.mean
-        assert result is not None  # path has at least one edge
+        result = convolve_many(distributions, max_buckets=self.output_buckets)
         elapsed = time.perf_counter() - started
         return CostEstimate(
             path=path,
@@ -164,9 +165,7 @@ class HPBaseline:
         after_oi = time.perf_counter()
         propagated = propagate_joint(decomposition, max_aggregate_buckets=self.max_aggregate_buckets)
         after_jc = time.perf_counter()
-        histogram = collapse_to_cost_histogram(
-            list(propagated.weighted_buckets), max_buckets=self.output_buckets
-        )
+        histogram = propagated.cost_histogram(max_buckets=self.output_buckets)
         after_mc = time.perf_counter()
         return CostEstimate(
             path=path,

@@ -34,10 +34,21 @@ class Decomposition:
 
     # ------------------------------------------------------------------ #
     def validate(self) -> None:
-        """Check the four spatial conditions of Section 4.1.1."""
+        """Check the four spatial conditions of Section 4.1.1.
+
+        Because paths are simple (no repeated edges) and condition (1) pins
+        every element to a contiguous, aligned slice of the query path, the
+        sub-path relation between elements reduces to interval containment
+        on ``[start_index, end_index)``; with starts strictly increasing
+        (condition 4), condition (3) holds exactly when the end indexes
+        strictly increase as well, and coverage (condition 2) is a gap scan
+        over the running maximum end.  The whole check is O(total rank)
+        instead of the quadratic pairwise sub-path scan.
+        """
         query_ids = self.query_path.edge_ids
-        covered: set[int] = set()
         previous_start = -1
+        max_end = 0
+        missing: list[int] = []
         for element in self.elements:
             start = element.start_index
             rank = element.rank
@@ -49,19 +60,20 @@ class Decomposition:
             # (4) elements are ordered by the position of their first edge.
             if start <= previous_start:
                 raise EstimationError("decomposition elements must be ordered by start position")
+            # (3) no element's path is a sub-path of another element's path.
+            if previous_start >= 0 and start + rank <= max_end:
+                raise EstimationError(
+                    f"element {element.path!r} is a sub-path of an earlier element"
+                )
+            # (2) gaps before this element can never be covered later.
+            if start > max_end:
+                missing.extend(query_ids[max_end:start])
             previous_start = start
-            covered.update(element.path.edge_ids)
-        # (2) the elements together cover the query path.
-        if covered != set(query_ids):
-            missing = set(query_ids) - covered
+            max_end = max(max_end, start + rank)
+        if max_end < len(query_ids):
+            missing.extend(query_ids[max_end:])
+        if missing:
             raise EstimationError(f"decomposition does not cover edges {sorted(missing)}")
-        # (3) no element's path is a sub-path of another element's path.
-        for i, first in enumerate(self.elements):
-            for j, second in enumerate(self.elements):
-                if i != j and first.path.is_subpath_of(second.path):
-                    raise EstimationError(
-                        f"element {first.path!r} is a sub-path of {second.path!r}"
-                    )
 
     # ------------------------------------------------------------------ #
     @property
@@ -120,11 +132,17 @@ def coarsest_decomposition(candidate_array: CandidateArray) -> Decomposition:
     decomposition given the relevant variables.
     """
     chosen: list[RelevantVariable] = []
+    max_end = 0
     for position in range(len(candidate_array)):
         candidate = candidate_array.highest_rank(position)
-        if any(candidate.path.is_subpath_of(existing.path) for existing in chosen):
+        # Candidates are aligned slices of the query path, so "sub-path of
+        # an already selected element" is just interval containment: every
+        # selected element starts earlier, hence containment happens
+        # exactly when this candidate does not extend the covered range.
+        if chosen and candidate.end_index <= max_end:
             continue
         chosen.append(candidate)
+        max_end = candidate.end_index
     return Decomposition(candidate_array.query_path, tuple(chosen))
 
 
@@ -138,16 +156,18 @@ def random_decomposition(
     the result a valid decomposition while generally not being the coarsest.
     """
     chosen: list[RelevantVariable] = []
+    max_end = 0
     for position in range(len(candidate_array)):
-        covered = chosen and chosen[-1].end_index > position
         candidate = candidate_array.random_choice(position, rng)
-        if covered and candidate.path.is_subpath_of(chosen[-1].path):
-            continue
-        if any(candidate.path.is_subpath_of(existing.path) for existing in chosen):
+        # Interval containment (see coarsest_decomposition): the candidate
+        # is a sub-path of a selected element iff it does not extend the
+        # covered range.
+        if chosen and candidate.end_index <= max_end:
             continue
         # Guarantee coverage: if this position is not yet covered, the chosen
         # variable must start here (it does, by construction of the rows).
         chosen.append(candidate)
+        max_end = candidate.end_index
     return Decomposition(candidate_array.query_path, tuple(chosen))
 
 
@@ -178,8 +198,10 @@ def pairwise_decomposition(candidate_array: CandidateArray) -> Decomposition:
         position += 1
     # Drop trailing elements fully covered by their predecessor (sub-path rule).
     filtered: list[RelevantVariable] = []
+    max_end = 0
     for element in chosen:
-        if any(element.path.is_subpath_of(existing.path) for existing in filtered):
+        if filtered and element.end_index <= max_end:
             continue
         filtered.append(element)
+        max_end = element.end_index
     return Decomposition(candidate_array.query_path, tuple(filtered))

@@ -138,7 +138,13 @@ class PathCostEstimator:
         path: Path,
         departure_time_s: float,
     ) -> CostEstimate:
-        """The MC step: collapse a propagated joint into a :class:`CostEstimate`."""
+        """The MC step: collapse a propagated joint into a :class:`CostEstimate`.
+
+        The collapse runs as one vectorised kernel pass over the propagated
+        cost cells and is memoised on the joint, so repeated
+        marginalisation of a cached decomposition (e.g. a batch of budget
+        queries through the estimation service) costs a dictionary lookup.
+        """
         return CostEstimate(
             path=path,
             departure_time_s=departure_time_s,

@@ -26,13 +26,15 @@ cost histogram lives in :mod:`repro.core.marginal` ("MC").
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from functools import cached_property
 
 import numpy as np
 
 from ..exceptions import EstimationError
+from ..histograms import kernels
 from ..histograms.multivariate import MultiHistogram
-from ..histograms.univariate import Bucket, Histogram1D, rearrange_buckets
+from ..histograms.univariate import Bucket, Histogram1D
 from .decomposition import Decomposition
 
 #: Minimum width used when an accumulated-cost range is still degenerate.
@@ -64,20 +66,55 @@ class _State:
         return int(self.prob.shape[0])
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class PropagatedJoint:
-    """The result of propagating Equation 2 along a decomposition."""
+    """The result of propagating Equation 2 along a decomposition.
+
+    The accumulated-cost cells are held as contiguous arrays
+    (``cell_lows`` / ``cell_highs`` / ``cell_probs``); the object-level
+    ``weighted_buckets`` view materialises :class:`Bucket` pairs on demand
+    for paper-facing code.  Collapsed cost histograms are memoised per
+    ``max_buckets``, so a batch of budget queries that share one cached
+    decomposition runs the MC kernel exactly once.
+    """
 
     decomposition: Decomposition
-    weighted_buckets: tuple[tuple[Bucket, float], ...]
+    cell_lows: np.ndarray
+    cell_highs: np.ndarray
+    cell_probs: np.ndarray
     entropy: float
     n_cells_processed: int
+    _collapse_cache: dict[int | None, Histogram1D] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    @cached_property
+    def weighted_buckets(self) -> tuple[tuple[Bucket, float], ...]:
+        """Object-level ``(Bucket, probability)`` view of the cost cells.
+
+        Materialised on first access and cached on the instance.
+        """
+        return tuple(
+            (Bucket(float(low), float(high)), float(prob))
+            for low, high, prob in zip(self.cell_lows, self.cell_highs, self.cell_probs)
+        )
 
     def cost_histogram(self, max_buckets: int | None = 64) -> Histogram1D:
-        """Collapse into the path's univariate cost distribution (Section 4.2)."""
-        from .marginal import collapse_to_cost_histogram
+        """Collapse into the path's univariate cost distribution (Section 4.2).
 
-        return collapse_to_cost_histogram(list(self.weighted_buckets), max_buckets=max_buckets)
+        The result is cached on the instance: re-collapsing a cached
+        propagated joint (the estimation service's decomposition-cache hit
+        path) is a dictionary lookup, not a kernel invocation.
+        """
+        cached = self._collapse_cache.get(max_buckets)
+        if cached is None:
+            from .marginal import collapse_cells_to_cost_histogram
+
+            cached = collapse_cells_to_cost_histogram(
+                self.cell_lows, self.cell_highs, self.cell_probs, max_buckets=max_buckets
+            )
+            self._collapse_cache[max_buckets] = cached
+        return cached
 
 
 def decomposition_entropy(decomposition: Decomposition) -> float:
@@ -124,16 +161,14 @@ def propagate_joint(
         state = _consolidate(state, max_aggregate_buckets, max_state_cells)
 
     highs = np.maximum(state.agg_high, state.agg_low + _MIN_WIDTH)
-    weighted = tuple(
-        (Bucket(float(low), float(high)), float(prob))
-        for low, high, prob in zip(state.agg_low, highs, state.prob)
-        if prob > 0.0
-    )
-    if not weighted:
+    keep = state.prob > 0.0
+    if not np.any(keep):
         raise EstimationError("joint propagation produced no probability mass")
     return PropagatedJoint(
         decomposition=decomposition,
-        weighted_buckets=weighted,
+        cell_lows=state.agg_low[keep],
+        cell_highs=highs[keep],
+        cell_probs=state.prob[keep],
         entropy=decomposition_entropy(decomposition),
         n_cells_processed=n_cells_processed,
     )
@@ -191,6 +226,30 @@ def _propagate_step(
 
     factor_prob = np.asarray(factor.cell_probabilities, dtype=float)
     n_factor_cells = factor_prob.shape[0]
+
+    if not sep_prev_ids and not sep_next_ids:
+        # Separator-free step (disjoint consecutive elements, the dominant
+        # case on sparse graphs): Equation 2 degenerates to an independent
+        # convolution, so skip the grouping/weighting machinery entirely.
+        release_low, release_high = _cell_bounds(factor, list(factor.dims))
+        factor_low = release_low.sum(axis=1)
+        factor_high = release_high.sum(axis=1)
+        new_prob = (state.prob[:, None] * factor_prob[None, :]).reshape(-1)
+        keep = new_prob > _PRUNE_THRESHOLD
+        if not np.any(keep):
+            keep = new_prob > 0.0
+        if not np.any(keep):
+            raise EstimationError("joint propagation lost all probability mass")
+        new_prob = new_prob[keep]
+        n_kept = new_prob.shape[0]
+        return _State(
+            agg_low=(state.agg_low[:, None] + factor_low[None, :]).reshape(-1)[keep],
+            agg_high=(state.agg_high[:, None] + factor_high[None, :]).reshape(-1)[keep],
+            sep_low=np.zeros((n_kept, 0)),
+            sep_high=np.zeros((n_kept, 0)),
+            prob=new_prob / new_prob.sum(),
+            sep_ids=(),
+        )
 
     # Group the factor's cells by their bucket indices on the previous
     # separator's dimensions; the group masses are the denominators of Eq. 2.
@@ -279,74 +338,86 @@ def _propagate_step(
 def _consolidate(state: _State, max_aggregate_buckets: int, max_state_cells: int) -> _State:
     """Bound the state size by re-bucketing the accumulated-cost dimension.
 
-    Cells are grouped by their separator bucket combination; within each
-    group, the accumulated-cost ranges are rearranged into a disjoint
-    histogram and coarsened to at most ``max_aggregate_buckets`` buckets.
-    If the state is still too large afterwards, the lowest-probability cells
-    are pruned (and the remainder renormalised).
+    Cells are grouped by their separator bucket combination; every group's
+    accumulated-cost ranges are rearranged into disjoint cells and, where
+    the rearranged group exceeds ``max_aggregate_buckets`` cells, merged
+    onto an equal-width grid.  All groups are processed by one batched
+    kernel pass (:func:`repro.histograms.kernels.grouped_rearrange_coarsen`)
+    rather than a per-group Python loop.  If the state is still too large
+    afterwards, the lowest-probability cells are pruned (and the remainder
+    renormalised).
     """
+    if not np.any(state.prob > 0.0):
+        raise EstimationError("joint propagation lost all probability mass")
     n_sep = state.sep_low.shape[1] if state.sep_low.ndim == 2 else 0
     if n_sep == 0:
-        group_labels = np.zeros(state.n_cells, dtype=int)
-        n_groups = 1
-    else:
-        combined = np.concatenate([state.sep_low, state.sep_high], axis=1)
-        _, group_labels = np.unique(np.round(combined, 9), axis=0, return_inverse=True)
-        n_groups = int(group_labels.max()) + 1
+        # One group only: rearrange/coarsen directly, skipping the grouped
+        # kernel's windowing machinery (and, matching it, leave states
+        # already within the cap untouched).
+        if state.n_cells <= max_aggregate_buckets:
+            new_state = state
+        else:
+            highs = np.maximum(state.agg_high, state.agg_low + _MIN_WIDTH)
+            cells = kernels.rearrange(state.agg_low, highs, state.prob, normalize=False)
+            cells = kernels.truncate_to_max_buckets(*cells, max_aggregate_buckets)
+            new_state = _State(
+                agg_low=cells[0],
+                agg_high=cells[1],
+                sep_low=np.zeros((cells[2].shape[0], 0)),
+                sep_high=np.zeros((cells[2].shape[0], 0)),
+                prob=cells[2],
+                sep_ids=state.sep_ids,
+            )
+        return _bound_and_normalise(new_state, max_state_cells)
 
-    agg_lows: list[np.ndarray] = []
-    agg_highs: list[np.ndarray] = []
-    sep_lows: list[np.ndarray] = []
-    sep_highs: list[np.ndarray] = []
-    probs: list[np.ndarray] = []
-    for group in range(n_groups):
-        mask = group_labels == group
-        count = int(mask.sum())
-        if count == 0:
-            continue
-        group_prob = float(state.prob[mask].sum())
-        if group_prob <= 0.0:
-            continue
-        if count <= max_aggregate_buckets:
-            agg_lows.append(state.agg_low[mask])
-            agg_highs.append(state.agg_high[mask])
-            sep_lows.append(state.sep_low[mask])
-            sep_highs.append(state.sep_high[mask])
-            probs.append(state.prob[mask])
-            continue
-        weighted = [
-            (Bucket(float(low), float(max(high, low + _MIN_WIDTH))), float(prob))
-            for low, high, prob in zip(state.agg_low[mask], state.agg_high[mask], state.prob[mask])
-        ]
-        histogram = rearrange_buckets(weighted).coarsen(max_aggregate_buckets)
-        n_new = histogram.n_buckets
-        agg_lows.append(np.array([bucket.lower for bucket in histogram.buckets]))
-        agg_highs.append(np.array([bucket.upper for bucket in histogram.buckets]))
-        first_index = int(np.argmax(mask))
-        sep_lows.append(np.tile(state.sep_low[first_index], (n_new, 1)))
-        sep_highs.append(np.tile(state.sep_high[first_index], (n_new, 1)))
-        probs.append(np.asarray(histogram.probabilities) * group_prob)
+    combined = np.concatenate([state.sep_low, state.sep_high], axis=1)
+    _, group_labels = np.unique(np.round(combined, 9), axis=0, return_inverse=True)
+    group_labels = np.asarray(group_labels).ravel()
+    n_groups = int(group_labels.max()) + 1
 
+    # First original row of each group, for re-expanding the separator
+    # columns (reversed fancy assignment keeps the earliest index).
+    representative = np.zeros(n_groups, dtype=np.int64)
+    representative[group_labels[::-1]] = np.arange(state.n_cells - 1, -1, -1)
+
+    highs = np.maximum(state.agg_high, state.agg_low + _MIN_WIDTH)
+    out_lows, out_highs, out_probs, out_groups = kernels.grouped_rearrange_coarsen(
+        state.agg_low, highs, state.prob, group_labels, max_aggregate_buckets
+    )
+
+    rows = representative[out_groups]
     new_state = _State(
-        agg_low=np.concatenate(agg_lows),
-        agg_high=np.concatenate(agg_highs),
-        sep_low=np.concatenate(sep_lows) if sep_lows else np.zeros((0, n_sep)),
-        sep_high=np.concatenate(sep_highs) if sep_highs else np.zeros((0, n_sep)),
-        prob=np.concatenate(probs),
+        agg_low=out_lows,
+        agg_high=out_highs,
+        sep_low=state.sep_low[rows],
+        sep_high=state.sep_high[rows],
+        prob=out_probs,
         sep_ids=state.sep_ids,
     )
-    if new_state.n_cells > max_state_cells:
-        order = np.argsort(new_state.prob)[::-1][:max_state_cells]
-        new_state = _State(
-            agg_low=new_state.agg_low[order],
-            agg_high=new_state.agg_high[order],
-            sep_low=new_state.sep_low[order],
-            sep_high=new_state.sep_high[order],
-            prob=new_state.prob[order],
-            sep_ids=new_state.sep_ids,
+    return _bound_and_normalise(new_state, max_state_cells)
+
+
+def _bound_and_normalise(state: _State, max_state_cells: int) -> _State:
+    """Prune the lowest-probability cells past the cap and renormalise."""
+    if state.n_cells > max_state_cells:
+        order = np.argsort(state.prob)[::-1][:max_state_cells]
+        state = _State(
+            agg_low=state.agg_low[order],
+            agg_high=state.agg_high[order],
+            sep_low=state.sep_low[order],
+            sep_high=state.sep_high[order],
+            prob=state.prob[order],
+            sep_ids=state.sep_ids,
         )
-    total = new_state.prob.sum()
+    total = state.prob.sum()
     if total <= 0.0:
         raise EstimationError("joint propagation lost all probability mass")
-    new_state.prob = new_state.prob / total
-    return new_state
+    state = _State(
+        agg_low=state.agg_low,
+        agg_high=state.agg_high,
+        sep_low=state.sep_low,
+        sep_high=state.sep_high,
+        prob=state.prob / total,
+        sep_ids=state.sep_ids,
+    )
+    return state

@@ -1,5 +1,11 @@
-"""Histogram substrate: raw distributions, V-Optimal buckets, 1-D and N-D histograms."""
+"""Histogram substrate: raw distributions, V-Optimal buckets, 1-D and N-D histograms.
 
+The numeric hot path lives in :mod:`repro.histograms.kernels` (vectorised
+array kernels); :mod:`repro.histograms.reference` retains the pure-Python
+loop implementations the kernels are property-tested against.
+"""
+
+from . import kernels
 from .raw import RawDistribution, raw_from_pairs
 from .vopt import (
     equal_width_boundaries,
@@ -7,7 +13,13 @@ from .vopt import (
     v_optimal_boundaries,
     v_optimal_error,
 )
-from .univariate import Bucket, Histogram1D, convolve_many, rearrange_buckets
+from .univariate import (
+    Bucket,
+    Histogram1D,
+    convolve_many,
+    prob_at_most_many,
+    rearrange_buckets,
+)
 from .multivariate import HyperBucket, MultiHistogram
 from .autobuckets import (
     auto_bucket_count,
@@ -47,7 +59,9 @@ __all__ = [
     "fit_distribution",
     "heuristic_bucket_count",
     "histogram_kl_divergence",
+    "kernels",
     "kl_divergence_from_samples",
+    "prob_at_most_many",
     "raw_from_pairs",
     "rearrange_buckets",
     "total_variation_distance",

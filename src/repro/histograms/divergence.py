@@ -37,7 +37,10 @@ class _HasCdf(Protocol):
 
 def _mass_on_grid(dist: _HasCdf, edges: np.ndarray) -> np.ndarray:
     """Probability mass of ``dist`` in each cell of the boundary grid."""
-    cdf_values = np.array([dist.cdf(edge) for edge in edges])
+    if isinstance(dist, Histogram1D):
+        cdf_values = dist.cdf_values(edges)
+    else:
+        cdf_values = np.array([dist.cdf(edge) for edge in edges])
     masses = np.diff(cdf_values)
     # Account for mass outside the grid (e.g. parametric tails).
     masses[0] += cdf_values[0]
@@ -104,11 +107,10 @@ def kl_divergence_from_samples(
 
 def entropy_of_histogram(histogram: Histogram1D) -> float:
     """Differential entropy (nats) of a 1-D histogram (uniform within buckets)."""
-    entropy = 0.0
-    for bucket, prob in zip(histogram.buckets, histogram.probabilities):
-        if prob > 0:
-            entropy -= prob * np.log(prob / bucket.width)
-    return float(entropy)
+    probs = histogram.probabilities
+    widths = histogram.highs - histogram.lows
+    mask = probs > 0
+    return float(-np.sum(probs[mask] * np.log(probs[mask] / widths[mask])))
 
 
 def total_variation_distance(reference: Histogram1D, estimate: Histogram1D) -> float:

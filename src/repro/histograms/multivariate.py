@@ -21,7 +21,8 @@ from typing import Iterator, Sequence
 import numpy as np
 
 from ..exceptions import HistogramError
-from .univariate import Bucket, Histogram1D, rearrange_buckets
+from . import kernels
+from .univariate import Bucket, Histogram1D
 
 #: Hard cap used when a caller asks for the dense probability tensor.
 _DENSE_CELL_LIMIT = 2_000_000
@@ -161,19 +162,10 @@ class MultiHistogram:
         Gaps between non-adjacent buckets become empty cells of the bucket
         grid, so bucket indices always line up with the boundary array.
         """
-        bounds = sorted(
-            {bucket.lower for bucket in histogram.buckets}
-            | {bucket.upper for bucket in histogram.buckets}
-        )
-        edges = np.asarray(bounds, dtype=float)
-        indices = []
-        probs = []
-        for bucket, prob in zip(histogram.buckets, histogram.probabilities):
-            if prob <= 0:
-                continue
-            indices.append([int(np.searchsorted(edges, bucket.lower))])
-            probs.append(float(prob))
-        return cls([dim], [edges], np.asarray(indices, dtype=np.int64), np.asarray(probs))
+        edges = np.unique(np.concatenate([histogram.lows, histogram.highs]))
+        keep = histogram.probabilities > 0
+        indices = np.searchsorted(edges, histogram.lows[keep])[:, None]
+        return cls([dim], [edges], indices.astype(np.int64), histogram.probabilities[keep])
 
     @classmethod
     def independent_product(cls, marginals: Sequence[tuple[int, Histogram1D]]) -> "MultiHistogram":
@@ -333,21 +325,17 @@ class MultiHistogram:
 
         Each hyper-bucket becomes a 1-D bucket whose bounds are the sums of
         the per-dimension bounds; overlapping buckets are rearranged into a
-        disjoint histogram (Section 4.2).
+        disjoint histogram (Section 4.2).  Runs entirely on the array
+        layout -- no per-bucket objects are materialised.
         """
         lows = np.zeros(self.n_hyper_buckets())
         highs = np.zeros(self.n_hyper_buckets())
         for axis, edges in enumerate(self._boundaries):
             lows += edges[self._indices[:, axis]]
             highs += edges[self._indices[:, axis] + 1]
-        weighted = [
-            (Bucket(float(low), float(high)), float(prob))
-            for low, high, prob in zip(lows, highs, self._probs)
-        ]
-        result = rearrange_buckets(weighted)
-        if max_buckets is not None and result.n_buckets > max_buckets:
-            result = result.coarsen(max_buckets)
-        return result
+        cells = kernels.rearrange(lows, highs, self._probs)
+        cells = kernels.truncate_to_max_buckets(*cells, max_buckets)
+        return Histogram1D._from_trusted_arrays(*cells)
 
     # ------------------------------------------------------------------ #
     # Sampling

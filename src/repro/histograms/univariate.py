@@ -5,6 +5,18 @@ half-open travel-cost range ``[l, u)`` and the probabilities sum to one
 (Section 3.1).  Probability mass is assumed uniformly distributed inside a
 bucket, which is the assumption the paper uses when rearranging overlapping
 buckets (Section 4.2) and when splitting probabilities during convolution.
+
+Mass sitting exactly on the **closed upper edge** of the final bucket is
+part of the distribution: ``cdf(max)`` is exactly ``1.0`` and
+``prob_between(x, max)`` includes it, so budget queries at the support
+maximum never lose probability to the half-open convention.
+
+Storage is array-native: a :class:`Histogram1D` holds three contiguous
+``float64`` arrays (bucket lows, bucket highs, probabilities) and delegates
+all numeric work to the vectorised kernels in
+:mod:`repro.histograms.kernels`.  :class:`Bucket` objects are materialised
+lazily, only when the object-level view (:attr:`Histogram1D.buckets`) is
+asked for.
 """
 
 from __future__ import annotations
@@ -15,6 +27,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from ..exceptions import HistogramError
+from . import kernels
 from .raw import RawDistribution
 
 _PROBABILITY_TOLERANCE = 1e-6
@@ -63,54 +76,32 @@ def rearrange_buckets(weighted_buckets: Iterable[tuple[Bucket, float]]) -> "Hist
     to a refined bucket proportionally to the overlap width (uniform mass
     within a bucket).  The result is a valid, disjoint histogram.
 
-    The implementation accumulates per-item probability *densities* on the
-    refined grid with a difference array, so the cost is O(n log n) in the
-    number of input buckets rather than quadratic.
+    This is the object-level entry point; internal callers that already
+    hold arrays use :func:`repro.histograms.kernels.rearrange` directly.
     """
-    items = [(bucket, float(prob)) for bucket, prob in weighted_buckets if prob > 0.0]
-    if not items:
-        raise HistogramError("cannot rearrange an empty set of buckets")
-    lows = np.array([bucket.lower for bucket, _ in items])
-    highs = np.array([bucket.upper for bucket, _ in items])
-    probs = np.array([prob for _, prob in items])
-    total = probs.sum()
-    if total <= 0:
-        raise HistogramError("total probability of buckets must be positive")
-
-    boundaries = np.unique(np.concatenate([lows, highs]))
-    if boundaries.size < 2:
-        raise HistogramError("cannot rearrange zero-width buckets")
-    densities = probs / (highs - lows)
-    # Difference array over boundary indices: +density at the bucket's lower
-    # boundary, -density at its upper boundary; the prefix sum gives the
-    # total density inside each refined cell.
-    delta = np.zeros(boundaries.size)
-    np.add.at(delta, np.searchsorted(boundaries, lows), densities)
-    np.subtract.at(delta, np.searchsorted(boundaries, highs), densities)
-    cell_density = np.cumsum(delta)[:-1]
-    cell_widths = np.diff(boundaries)
-    probabilities = cell_density * cell_widths / total
-    keep = probabilities > 0.0
-    kept_buckets = [
-        Bucket(float(low), float(high))
-        for low, high, flag in zip(boundaries[:-1], boundaries[1:], keep)
-        if flag
-    ]
-    kept_probs = probabilities[keep]
-    return Histogram1D(kept_buckets, kept_probs)
+    items = list(weighted_buckets)
+    lows = np.fromiter((bucket.lower for bucket, _ in items), dtype=float, count=len(items))
+    highs = np.fromiter((bucket.upper for bucket, _ in items), dtype=float, count=len(items))
+    probs = np.fromiter((prob for _, prob in items), dtype=float, count=len(items))
+    return Histogram1D._from_trusted_arrays(*kernels.rearrange(lows, highs, probs))
 
 
 class Histogram1D:
     """A univariate travel-cost distribution as a disjoint bucket histogram."""
 
-    __slots__ = ("_buckets", "_probabilities")
+    __slots__ = ("_lows", "_highs", "_probs", "_cum", "_bucket_cache")
 
     def __init__(self, buckets: Sequence[Bucket], probabilities: Sequence[float]) -> None:
         if len(buckets) == 0:
             raise HistogramError("a histogram needs at least one bucket")
         if len(buckets) != len(probabilities):
             raise HistogramError("buckets and probabilities must have equal length")
-        probs = np.asarray(probabilities, dtype=float)
+        lows = np.fromiter((bucket.lower for bucket in buckets), dtype=float, count=len(buckets))
+        highs = np.fromiter((bucket.upper for bucket in buckets), dtype=float, count=len(buckets))
+        self._init_arrays(lows, highs, np.asarray(probabilities, dtype=float))
+
+    def _init_arrays(self, lows: np.ndarray, highs: np.ndarray, probs: np.ndarray) -> None:
+        """Validate, sort and normalise the array representation."""
         if np.any(probs < -_PROBABILITY_TOLERANCE):
             raise HistogramError("bucket probabilities must be non-negative")
         probs = np.clip(probs, 0.0, None)
@@ -119,24 +110,76 @@ class Histogram1D:
             raise HistogramError(f"bucket probabilities must sum to 1, got {total:.6f}")
         probs = probs / total
 
-        ordered = sorted(zip(buckets, probs), key=lambda item: item[0].lower)
-        sorted_buckets = [bucket for bucket, _ in ordered]
-        for first, second in zip(sorted_buckets[:-1], sorted_buckets[1:]):
-            if second.lower < first.upper - 1e-12:
-                raise HistogramError(f"buckets overlap: {first} and {second}")
-        self._buckets = tuple(sorted_buckets)
-        self._probabilities = np.array([prob for _, prob in ordered], dtype=float)
+        order = np.argsort(lows, kind="stable")
+        lows, highs, probs = lows[order], highs[order], probs[order]
+        overlaps = lows[1:] < highs[:-1] - 1e-12
+        if np.any(overlaps):
+            index = int(np.argmax(overlaps))
+            raise HistogramError(
+                f"buckets overlap: [{lows[index]:.3g}, {highs[index]:.3g}) and "
+                f"[{lows[index + 1]:.3g}, {highs[index + 1]:.3g})"
+            )
+        self._lows = lows
+        self._highs = highs
+        self._probs = probs
+        self._cum = np.cumsum(probs)
+        self._bucket_cache: tuple[Bucket, ...] | None = None
 
     # ------------------------------------------------------------------ #
     # Constructors
     # ------------------------------------------------------------------ #
     @classmethod
+    def from_arrays(
+        cls,
+        lows: Sequence[float] | np.ndarray,
+        highs: Sequence[float] | np.ndarray,
+        probabilities: Sequence[float] | np.ndarray,
+    ) -> "Histogram1D":
+        """Build directly from the array layout (no :class:`Bucket` objects).
+
+        ``lows`` / ``highs`` / ``probabilities`` must have equal length;
+        ranges must be finite, positive-width and non-overlapping (any
+        order).  This is the constructor of choice for code that already
+        works with arrays -- it skips the per-bucket object churn entirely.
+        """
+        lows = np.array(lows, dtype=float)
+        highs = np.array(highs, dtype=float)
+        probs = np.asarray(probabilities, dtype=float)
+        if lows.size == 0:
+            raise HistogramError("a histogram needs at least one bucket")
+        if lows.shape != highs.shape or lows.shape != probs.shape:
+            raise HistogramError("lows, highs and probabilities must have equal length")
+        if not (np.all(np.isfinite(lows)) and np.all(np.isfinite(highs))):
+            raise HistogramError("bucket bounds must be finite")
+        if np.any(highs <= lows):
+            raise HistogramError("bucket upper bounds must exceed lower bounds")
+        self = object.__new__(cls)
+        self._init_arrays(lows, highs, probs)
+        return self
+
+    @classmethod
+    def _from_trusted_arrays(
+        cls, lows: np.ndarray, highs: np.ndarray, probs: np.ndarray
+    ) -> "Histogram1D":
+        """Fast path for kernel outputs (already sorted, disjoint, positive)."""
+        self = object.__new__(cls)
+        total = probs.sum()
+        if probs.size == 0 or total <= 0.0:
+            raise HistogramError("a histogram needs positive probability mass")
+        self._lows = lows
+        self._highs = highs
+        self._probs = probs / total
+        self._cum = np.cumsum(self._probs)
+        self._bucket_cache = None
+        return self
+
+    @classmethod
     def from_boundaries(cls, boundaries: Sequence[float], probabilities: Sequence[float]) -> "Histogram1D":
         """Build from consecutive boundaries and per-bucket probabilities."""
         if len(boundaries) != len(probabilities) + 1:
             raise HistogramError("need exactly one more boundary than probabilities")
-        buckets = [Bucket(low, high) for low, high in zip(boundaries[:-1], boundaries[1:])]
-        return cls(buckets, probabilities)
+        edges = np.asarray(boundaries, dtype=float)
+        return cls.from_arrays(edges[:-1], edges[1:], probabilities)
 
     @classmethod
     def from_values(cls, values: Iterable[float], boundaries: Sequence[float]) -> "Histogram1D":
@@ -177,43 +220,68 @@ class Histogram1D:
     # ------------------------------------------------------------------ #
     @property
     def buckets(self) -> tuple[Bucket, ...]:
-        return self._buckets
+        """Object-level bucket views (materialised lazily, then cached)."""
+        if self._bucket_cache is None:
+            self._bucket_cache = tuple(
+                Bucket(float(low), float(high)) for low, high in zip(self._lows, self._highs)
+            )
+        return self._bucket_cache
 
     @property
-    def probabilities(self) -> np.ndarray:
-        view = self._probabilities.view()
+    def lows(self) -> np.ndarray:
+        """Bucket lower bounds (read-only array view)."""
+        view = self._lows.view()
         view.flags.writeable = False
         return view
 
     @property
+    def highs(self) -> np.ndarray:
+        """Bucket upper bounds (read-only array view)."""
+        view = self._highs.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        view = self._probs.view()
+        view.flags.writeable = False
+        return view
+
+    def as_triple(self) -> kernels.Triple:
+        """The ``(lows, highs, probs)`` array triple the kernels operate on.
+
+        Read-only views: mutating them would silently desynchronise the
+        cached cumulative probabilities and bucket views.
+        """
+        lows, highs, probs = self._lows.view(), self._highs.view(), self._probs.view()
+        lows.flags.writeable = False
+        highs.flags.writeable = False
+        probs.flags.writeable = False
+        return lows, highs, probs
+
+    @property
     def n_buckets(self) -> int:
-        return len(self._buckets)
+        return int(self._probs.size)
 
     @property
     def min(self) -> float:
         """Smallest possible cost value (lower bound of the first bucket)."""
-        return self._buckets[0].lower
+        return float(self._lows[0])
 
     @property
     def max(self) -> float:
         """Largest possible cost value (upper bound of the last bucket)."""
-        return self._buckets[-1].upper
+        return float(self._highs[-1])
 
     @property
     def mean(self) -> float:
         """Expected cost under the uniform-within-bucket assumption."""
-        midpoints = np.array([bucket.midpoint for bucket in self._buckets])
-        return float(np.dot(midpoints, self._probabilities))
+        return kernels.mean(self._lows, self._highs, self._probs)
 
     @property
     def variance(self) -> float:
         """Variance under the uniform-within-bucket assumption."""
-        mean = self.mean
-        second_moment = 0.0
-        for bucket, prob in zip(self._buckets, self._probabilities):
-            # E[X^2] over a uniform [l, u) is (l^2 + l*u + u^2) / 3.
-            second_moment += prob * (bucket.lower**2 + bucket.lower * bucket.upper + bucket.upper**2) / 3.0
-        return max(0.0, second_moment - mean * mean)
+        return kernels.variance(self._lows, self._highs, self._probs)
 
     @property
     def std(self) -> float:
@@ -232,29 +300,41 @@ class Histogram1D:
     # ------------------------------------------------------------------ #
     def pdf(self, value: float) -> float:
         """Probability density at ``value`` (uniform within buckets)."""
-        for bucket, prob in zip(self._buckets, self._probabilities):
-            if bucket.contains(value):
-                return prob / bucket.width
-        return 0.0
+        index = int(np.searchsorted(self._highs, value, side="right"))
+        if index >= self._probs.size or value < self._lows[index]:
+            return 0.0
+        return float(self._probs[index] / (self._highs[index] - self._lows[index]))
 
     def cdf(self, value: float) -> float:
-        """Probability that the cost is at most ``value``."""
-        total = 0.0
-        for bucket, prob in zip(self._buckets, self._probabilities):
-            if value >= bucket.upper:
-                total += prob
-            elif value > bucket.lower:
-                total += prob * (value - bucket.lower) / bucket.width
-            else:
-                break
-        return min(1.0, total)
+        """Probability that the cost is at most ``value``.
+
+        The final bucket's upper edge is closed: ``cdf(max)`` is exactly
+        ``1.0``, so a budget equal to the largest possible cost is always
+        met with certainty.
+        """
+        if value >= self._highs[-1]:
+            return 1.0
+        index = int(np.searchsorted(self._highs, value, side="right"))
+        if index >= self._probs.size:  # NaN sorts past every bound
+            return 0.0
+        before = float(self._cum[index - 1]) if index > 0 else 0.0
+        low = self._lows[index]
+        if value <= low:
+            return min(1.0, before)
+        fraction = (value - low) / (self._highs[index] - low)
+        return min(1.0, before + float(self._probs[index]) * fraction)
 
     def prob_at_most(self, budget: float) -> float:
         """Alias of :meth:`cdf`; probability of completing within ``budget``."""
         return self.cdf(budget)
 
     def prob_between(self, lower: float, upper: float) -> float:
-        """Probability that the cost lies in ``[lower, upper)``."""
+        """Probability that the cost lies in ``[lower, upper)``.
+
+        As with :meth:`cdf`, mass at the closed upper edge of the final
+        bucket is included when ``upper`` is at or beyond the support
+        maximum.
+        """
         if upper <= lower:
             return 0.0
         return max(0.0, self.cdf(upper) - self.cdf(lower))
@@ -263,25 +343,15 @@ class Histogram1D:
         """Smallest value ``x`` with ``cdf(x) >= q``."""
         if not 0.0 <= q <= 1.0:
             raise HistogramError(f"quantile level must be in [0, 1], got {q}")
-        if q == 0.0:
-            return self.min
-        cumulative = 0.0
-        for bucket, prob in zip(self._buckets, self._probabilities):
-            if cumulative + prob >= q:
-                if prob == 0.0:
-                    return bucket.lower
-                fraction = (q - cumulative) / prob
-                return bucket.lower + fraction * bucket.width
-            cumulative += prob
-        return self.max
+        return float(kernels.quantile_many(self._lows, self._highs, self._probs, np.array([q]))[0])
 
     def sample(self, rng: np.random.Generator, size: int = 1) -> np.ndarray:
         """Draw ``size`` samples (uniform within the selected bucket)."""
         if size < 1:
             raise HistogramError(f"size must be >= 1, got {size}")
-        indices = rng.choice(self.n_buckets, size=size, p=self._probabilities)
-        lows = np.array([self._buckets[i].lower for i in indices])
-        widths = np.array([self._buckets[i].width for i in indices])
+        indices = rng.choice(self.n_buckets, size=size, p=self._probs)
+        lows = self._lows[indices]
+        widths = self._highs[indices] - lows
         return lows + rng.random(size) * widths
 
     # ------------------------------------------------------------------ #
@@ -289,7 +359,11 @@ class Histogram1D:
     # ------------------------------------------------------------------ #
     def shift(self, offset: float) -> "Histogram1D":
         """Histogram of ``X + offset``."""
-        return Histogram1D([bucket.shift(offset) for bucket in self._buckets], self._probabilities)
+        if not np.isfinite(offset):
+            raise HistogramError(f"shift offset must be finite, got {offset}")
+        return Histogram1D._from_trusted_arrays(
+            *kernels.shift(self._lows, self._highs, self._probs, float(offset))
+        )
 
     def convolve(self, other: "Histogram1D", max_buckets: int | None = 64) -> "Histogram1D":
         """Distribution of the sum of two independent costs (the paper's ⊙).
@@ -300,21 +374,17 @@ class Histogram1D:
         rearranged into a disjoint histogram.  ``max_buckets`` caps the
         output size (by merging) to keep repeated convolution tractable.
         """
-        combined: list[tuple[Bucket, float]] = []
-        for bucket_a, prob_a in zip(self._buckets, self._probabilities):
-            if prob_a <= 0.0:
-                continue
-            for bucket_b, prob_b in zip(other._buckets, other._probabilities):
-                prob = prob_a * prob_b
-                if prob <= 0.0:
-                    continue
-                combined.append(
-                    (Bucket(bucket_a.lower + bucket_b.lower, bucket_a.upper + bucket_b.upper), prob)
-                )
-        result = rearrange_buckets(combined)
-        if max_buckets is not None and result.n_buckets > max_buckets:
-            result = result.coarsen(max_buckets)
-        return result
+        return Histogram1D._from_trusted_arrays(
+            *kernels.convolve(
+                self._lows,
+                self._highs,
+                self._probs,
+                other._lows,
+                other._highs,
+                other._probs,
+                max_buckets=max_buckets,
+            )
+        )
 
     def cdf_values(self, values: Sequence[float]) -> np.ndarray:
         """Vectorised CDF evaluation at many points.
@@ -324,17 +394,7 @@ class Histogram1D:
         buckets), so it can be evaluated by linear interpolation on the
         cumulative probabilities.
         """
-        knots_x: list[float] = [self._buckets[0].lower]
-        knots_y: list[float] = [0.0]
-        cumulative = 0.0
-        for bucket, prob in zip(self._buckets, self._probabilities):
-            if bucket.lower > knots_x[-1]:
-                knots_x.append(bucket.lower)
-                knots_y.append(cumulative)
-            cumulative += float(prob)
-            knots_x.append(bucket.upper)
-            knots_y.append(cumulative)
-        return np.interp(np.asarray(values, dtype=float), knots_x, knots_y)
+        return kernels.cdf_at_many(self._lows, self._highs, self._probs, values)
 
     def coarsen(self, max_buckets: int) -> "Histogram1D":
         """Merge buckets onto an equal-width grid with at most ``max_buckets`` buckets."""
@@ -342,50 +402,65 @@ class Histogram1D:
             raise HistogramError(f"max_buckets must be >= 1, got {max_buckets}")
         if self.n_buckets <= max_buckets:
             return self
-        edges = np.linspace(self.min, self.max, max_buckets + 1)
-        edges[-1] = np.nextafter(self.max, np.inf)
-        probs = np.diff(self.cdf_values(edges))
-        probs = np.clip(probs, 0.0, None)
-        coarse = [Bucket(low, high) for low, high in zip(edges[:-1], edges[1:])]
-        return Histogram1D(coarse, probs / probs.sum())
+        return Histogram1D._from_trusted_arrays(
+            *kernels.coarsen(self._lows, self._highs, self._probs, max_buckets)
+        )
 
     def align_to(self, boundaries: Sequence[float]) -> np.ndarray:
         """Probability mass of this histogram inside each ``[b_i, b_{i+1})`` cell."""
         edges = np.asarray(boundaries, dtype=float)
         if edges.size < 2:
             raise HistogramError("need at least two boundaries")
-        if len(self._buckets) > 8 or edges.size > 16:
-            return np.clip(np.diff(self.cdf_values(edges)), 0.0, None)
-        return np.array(
-            [self.prob_between(low, high) for low, high in zip(edges[:-1], edges[1:])]
-        )
+        return np.clip(np.diff(self.cdf_values(edges)), 0.0, None)
 
     def boundary_values(self) -> list[float]:
         """All bucket boundaries, in increasing order."""
-        values = [self._buckets[0].lower]
-        for bucket in self._buckets:
-            values.append(bucket.upper)
-        return values
+        return [float(self._lows[0])] + [float(high) for high in self._highs]
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Histogram1D):
             return NotImplemented
-        return self._buckets == other._buckets and np.allclose(
-            self._probabilities, other._probabilities
+        return (
+            np.array_equal(self._lows, other._lows)
+            and np.array_equal(self._highs, other._highs)
+            and np.allclose(self._probs, other._probs)
         )
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         parts = ", ".join(
-            f"{bucket}: {prob:.3f}" for bucket, prob in zip(self._buckets, self._probabilities)
+            f"{bucket}: {prob:.3f}" for bucket, prob in zip(self.buckets, self._probs)
         )
         return f"Histogram1D({parts})"
 
 
 def convolve_many(histograms: Sequence[Histogram1D], max_buckets: int | None = 64) -> Histogram1D:
-    """Convolve a sequence of independent cost histograms (legacy baseline helper)."""
+    """Convolve a sequence of independent cost histograms (path fold).
+
+    The fold keeps a wider working resolution while accumulating and
+    truncates to ``max_buckets`` only once at the end
+    (:func:`repro.histograms.kernels.convolve_accumulate`), so the
+    equal-width regridding error no longer compounds along long paths the
+    way the legacy per-step truncation did.
+    """
     if not histograms:
         raise HistogramError("need at least one histogram to convolve")
-    result = histograms[0]
-    for histogram in histograms[1:]:
-        result = result.convolve(histogram, max_buckets=max_buckets)
-    return result
+    return Histogram1D._from_trusted_arrays(
+        *kernels.convolve_accumulate(
+            [histogram.as_triple() for histogram in histograms], max_buckets=max_buckets
+        )
+    )
+
+
+def prob_at_most_many(histograms: Sequence[Histogram1D], budget: float) -> np.ndarray:
+    """``P(cost <= budget)`` for many histograms in one batched kernel call.
+
+    Used by the routing queries to score a whole candidate set against a
+    shared budget with a single interpolation pass
+    (:func:`repro.histograms.kernels.batch_cdf`).
+    """
+    if not histograms:
+        return np.zeros(0)
+    return kernels.batch_cdf(
+        [histogram.as_triple() for histogram in histograms],
+        np.full(len(histograms), float(budget)),
+    )

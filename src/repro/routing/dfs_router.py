@@ -128,12 +128,20 @@ class DFSStochasticRouter:
             remaining_bound = lower_bounds.get(current_vertex)
             if remaining_bound is None:
                 continue
+            # prob_at_most is a cumulative-array lookup (no bucket loop), so
+            # the pruning bound costs O(log buckets) per expansion.
             optimistic_probability = estimate.histogram.prob_at_most(budget_s - remaining_bound)
             if optimistic_probability <= best_probability:
                 continue
 
             if current_vertex == target:
-                probability = estimate.histogram.prob_at_most(budget_s)
+                # The target's free-flow bound is zero, so the optimistic
+                # probability already *is* P(cost <= budget).
+                probability = (
+                    optimistic_probability
+                    if remaining_bound == 0.0
+                    else estimate.histogram.prob_at_most(budget_s)
+                )
                 if probability > best_probability:
                     best_probability = probability
                     best_path = path

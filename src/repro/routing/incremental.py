@@ -9,10 +9,12 @@ estimator wraps any path cost estimator with
   and
 * a cheap **extension rule**: when a cached prefix estimate exists, the
   extension's distribution is obtained by convolving the prefix's cost
-  histogram with the new edge's unit distribution.  The full (dependency
-  aware) estimate is recomputed lazily every ``refresh_every`` extensions,
-  so the accuracy stays close to the wrapped estimator while the per-edge
-  work during search stays small.
+  histogram with the new edge's unit distribution -- a single vectorised
+  kernel call (:func:`repro.histograms.kernels.convolve`) on the array
+  layout, no per-bucket Python loop.  The full (dependency aware) estimate
+  is recomputed lazily every ``refresh_every`` extensions, so the accuracy
+  stays close to the wrapped estimator while the per-edge work during
+  search stays small.
 """
 
 from __future__ import annotations

@@ -12,8 +12,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Protocol, Sequence
 
+import numpy as np
+
 from ..exceptions import RoutingError
-from ..histograms.univariate import Histogram1D
+from ..histograms.univariate import Histogram1D, prob_at_most_many
 from ..roadnet.path import Path
 
 
@@ -36,22 +38,20 @@ def first_order_dominates(first: Histogram1D, second: Histogram1D, n_points: int
     degenerate (``high <= low``), both histograms are the same point mass
     and neither dominates the other -- the test returns ``False``
     symmetrically rather than letting argument order decide.
+
+    Both CDFs are evaluated on the whole grid with one vectorised kernel
+    call each and compared elementwise -- no per-point Python loop.
     """
     low = min(first.min, second.min)
     high = max(first.max, second.max)
     if high <= low:
         return False
-    step = (high - low) / max(1, n_points - 1)
-    points = [low + i * step for i in range(n_points)]
-    strictly_better_somewhere = False
-    for point in points:
-        cdf_first = first.cdf(point)
-        cdf_second = second.cdf(point)
-        if cdf_first < cdf_second - 1e-12:
-            return False
-        if cdf_first > cdf_second + 1e-12:
-            strictly_better_somewhere = True
-    return strictly_better_somewhere
+    points = np.linspace(low, high, max(2, n_points))
+    cdf_first = first.cdf_values(points)
+    cdf_second = second.cdf_values(points)
+    if np.any(cdf_first < cdf_second - 1e-12):
+        return False
+    return bool(np.any(cdf_first > cdf_second + 1e-12))
 
 
 @dataclass(frozen=True)
@@ -79,13 +79,19 @@ class ProbabilisticBudgetQuery:
         method (e.g. :class:`~repro.service.CostEstimationService`) are asked
         for all candidates at once, so shared sub-work across the candidate
         set is deduplicated and cached; plain estimators are queried one
-        path at a time.
+        path at a time.  Either way, the budget probabilities of the whole
+        candidate set are evaluated by one batched CDF kernel call
+        (:func:`~repro.histograms.univariate.prob_at_most_many`).
         """
         batch = getattr(estimator, "estimate_batch", None)
         if callable(batch):
             estimates = batch(list(candidates), self.departure_time_s)
-            return [estimate.histogram.prob_at_most(self.budget) for estimate in estimates]
-        return [self.probability(estimator, candidate) for candidate in candidates]
+        else:
+            estimates = [
+                estimator.estimate(candidate, self.departure_time_s) for candidate in candidates
+            ]
+        histograms = [estimate.histogram for estimate in estimates]
+        return [float(p) for p in prob_at_most_many(histograms, self.budget)]
 
     def best_path(
         self, estimator: SupportsEstimate, candidates: Sequence[Path]

@@ -10,7 +10,9 @@ routing traffic:
 * a bounded LRU **decomposition cache** keeps the propagated joint (the
   OI + JC output) under the same key, so a result-cache miss -- or a batch
   of distinct budget queries over the same path -- re-runs only the cheap
-  marginalisation step;
+  marginalisation step; the propagated joint additionally memoises its
+  collapsed cost histogram, so a batch of requests sharing one
+  decomposition runs the MC kernel exactly once;
 * a **batch executor** deduplicates shared work across a candidate set (the
   Figure 1(a) scenario) and can fan out on a thread pool;
 * a **warmup pass** (:meth:`CostEstimationService.warmup`) precomputes the
@@ -41,6 +43,7 @@ from typing import TYPE_CHECKING, Iterable, Sequence
 
 from ..config import ServiceParameters
 from ..core.estimator import CostEstimate, PathCostEstimator
+from ..histograms.univariate import prob_at_most_many
 from ..core.hybrid_graph import HybridGraph
 from ..core.joint import PropagatedJoint
 from ..exceptions import ServiceError
@@ -306,6 +309,29 @@ class CostEstimationService:
     def prob_within(self, path: Path, departure_time_s: float, budget: float) -> float:
         """Probability that ``path`` completes within ``budget`` cost units."""
         return self.estimate(path, departure_time_s).prob_within(budget)
+
+    def prob_within_batch(
+        self,
+        paths: Sequence[Path],
+        departure_time_s: float,
+        budget: float,
+        method: str | None = None,
+        max_workers: int | None = None,
+    ) -> list[float]:
+        """``P(cost <= budget)`` for a whole candidate set.
+
+        Estimation goes through the deduplicated batch pipeline and the
+        budget probabilities of all candidates are then evaluated with one
+        batched CDF kernel call
+        (:func:`~repro.histograms.univariate.prob_at_most_many`).
+        """
+        estimates = self.estimate_batch(
+            paths, departure_time_s, method=method, max_workers=max_workers
+        )
+        return [
+            float(p)
+            for p in prob_at_most_many([estimate.histogram for estimate in estimates], budget)
+        ]
 
     # ------------------------------------------------------------------ #
     # Batch API

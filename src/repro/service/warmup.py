@@ -5,7 +5,9 @@ its first queries.  The warmup pass ranks the store's sub-paths by how many
 trajectories traversed them (the same statistic the sparseness analysis of
 Figure 3 uses), picks each path's busiest alpha-intervals, and pushes the
 resulting queries through the service's batch API so both cache layers are
-hot before live traffic arrives.
+hot before live traffic arrives.  Because every warmed propagated joint
+memoises its collapsed cost histogram, later budget queries that hit the
+decomposition cache skip the MC kernel entirely.
 """
 
 from __future__ import annotations

@@ -1,0 +1,312 @@
+"""Unit tests for the array-native distribution kernels."""
+
+import numpy as np
+import pytest
+
+from repro import Bucket, Histogram1D, HistogramError
+from repro.histograms import kernels, prob_at_most_many
+from repro.histograms.reference import (
+    reference_convolve,
+    reference_convolve_many,
+    reference_mean,
+)
+
+
+def triple(cells):
+    """(lows, highs, probs) arrays from a list of (low, high, prob) tuples."""
+    lows, highs, probs = (np.array(column, dtype=float) for column in zip(*cells))
+    return lows, highs, probs
+
+
+class TestRearrange:
+    def test_disjoint_passthrough(self):
+        lows, highs, probs = kernels.rearrange(*triple([(0, 10, 0.4), (20, 30, 0.6)]))
+        assert list(probs) == pytest.approx([0.4, 0.6])
+        assert list(lows) == [0, 20]
+        assert list(highs) == [10, 30]
+
+    def test_overlap_split_proportionally(self):
+        lows, highs, probs = kernels.rearrange(*triple([(0, 10, 0.5), (5, 15, 0.5)]))
+        assert list(lows) == [0, 5, 10]
+        assert probs.sum() == pytest.approx(1.0)
+        assert probs[1] == pytest.approx(0.5)  # both halves contribute 0.25
+
+    def test_mass_preserved_unnormalized(self):
+        cells = [(0, 4, 0.2), (1, 5, 0.3), (2, 8, 0.1)]
+        _, _, masses = kernels.rearrange(*triple(cells), normalize=False)
+        assert masses.sum() == pytest.approx(0.6)
+
+    def test_zero_mass_rejected(self):
+        with pytest.raises(HistogramError):
+            kernels.rearrange(*triple([(0, 1, 0.0)]))
+
+
+class TestConvolve:
+    def test_mean_additivity(self):
+        a = triple([(0, 10, 0.5), (10, 20, 0.5)])
+        b = triple([(5, 15, 1.0)])
+        result = kernels.convolve(*a, *b, max_buckets=None)
+        assert kernels.mean(*result) == pytest.approx(kernels.mean(*a) + kernels.mean(*b))
+
+    def test_support_additivity(self):
+        a = triple([(2, 4, 1.0)])
+        b = triple([(3, 7, 1.0)])
+        lows, highs, _ = kernels.convolve(*a, *b)
+        assert lows[0] == 5
+        assert highs[-1] == 11
+
+    def test_max_buckets_cap(self):
+        rng = np.random.default_rng(0)
+        edges = np.sort(rng.uniform(0, 100, 33))
+        probs = rng.dirichlet(np.ones(32))
+        a = (edges[:-1], edges[1:], probs)
+        result = kernels.convolve(*a, *a, max_buckets=16)
+        assert result[2].size <= 16
+        assert result[2].sum() == pytest.approx(1.0)
+
+
+class TestConvolveAccumulate:
+    def test_matches_reference_untruncated(self):
+        cells = [(1.0, 2.0, 0.5), (2.0, 4.0, 0.5)]
+        components = [triple(cells)] * 4
+        folded = kernels.convolve_accumulate(components, max_buckets=None)
+        reference = reference_convolve_many([cells] * 4, max_buckets=None)
+        ref_lows, ref_highs, ref_probs = triple(reference)
+        np.testing.assert_allclose(folded[0], ref_lows, atol=1e-9)
+        np.testing.assert_allclose(folded[2], ref_probs, atol=1e-9)
+
+    def test_final_truncation_beats_per_step_truncation(self):
+        """The drift regression: a 10-leg fold with a tight bucket cap must
+        track the untruncated ground truth more closely than the legacy
+        per-step-truncating fold does."""
+        rng = np.random.default_rng(7)
+        edges = np.sort(rng.uniform(10, 200, 9))
+        probs = rng.dirichlet(np.ones(8))
+        # Identical legs keep the exact fold's boundary-sum count polynomial,
+        # so the untruncated ground truth stays computable.
+        legs = [(edges[:-1], edges[1:], probs)] * 10
+        exact = kernels.convolve_accumulate(legs, max_buckets=None)
+        new_fold = kernels.convolve_accumulate(legs, max_buckets=16)
+        legacy = reference_convolve_many(
+            [list(zip(*leg)) for leg in legs], max_buckets=16
+        )
+        legacy_triple = triple(legacy)
+
+        grid = np.linspace(exact[0][0], exact[1][-1], 301)
+        exact_cdf = kernels.cdf_at_many(*exact, grid)
+        new_error = np.abs(kernels.cdf_at_many(*new_fold, grid) - exact_cdf).max()
+        legacy_error = np.abs(kernels.cdf_at_many(*legacy_triple, grid) - exact_cdf).max()
+        assert new_fold[2].size <= 16
+        assert new_error <= legacy_error
+        # A 16-bucket grid over a 10-leg support bounds the achievable CDF
+        # resolution; the final-truncation fold must stay within it.
+        assert new_error < 0.05
+
+    def test_mean_additivity_over_long_fold(self):
+        unit = triple([(1.0, 2.0, 1.0)])
+        folded = kernels.convolve_accumulate([unit] * 12, max_buckets=32)
+        assert kernels.mean(*folded) == pytest.approx(12 * 1.5, rel=1e-9)
+
+    def test_empty_rejected(self):
+        with pytest.raises(HistogramError):
+            kernels.convolve_accumulate([])
+
+
+class TestCdfKernels:
+    def test_cdf_at_many_matches_scalar(self):
+        histogram = Histogram1D([Bucket(0, 10), Bucket(20, 30)], [0.25, 0.75])
+        points = np.linspace(-5, 35, 100)
+        vectorised = histogram.cdf_values(points)
+        scalars = np.array([histogram.cdf(p) for p in points])
+        np.testing.assert_allclose(vectorised, scalars, atol=1e-12)
+
+    def test_flat_across_gap(self):
+        lows, highs, probs = triple([(0, 10, 0.5), (20, 30, 0.5)])
+        values = kernels.cdf_at_many(lows, highs, probs, np.array([10.0, 15.0, 20.0]))
+        np.testing.assert_allclose(values, [0.5, 0.5, 0.5], atol=1e-12)
+
+    def test_batch_cdf_matches_individual(self):
+        rng = np.random.default_rng(3)
+        histograms = []
+        for _ in range(7):
+            edges = np.sort(rng.uniform(0, 500, 9))
+            probs = rng.dirichlet(np.ones(8))
+            histograms.append(Histogram1D.from_boundaries(list(edges), list(probs)))
+        budget = 180.0
+        batched = prob_at_most_many(histograms, budget)
+        individual = [histogram.cdf(budget) for histogram in histograms]
+        np.testing.assert_allclose(batched, individual, atol=1e-9)
+
+    def test_batch_cdf_empty(self):
+        assert prob_at_most_many([], 10.0).size == 0
+
+    def test_quantile_many_inverts_cdf(self):
+        lows, highs, probs = triple([(0, 10, 0.3), (10, 40, 0.7)])
+        levels = np.array([0.0, 0.15, 0.3, 0.65, 1.0])
+        points = kernels.quantile_many(lows, highs, probs, levels)
+        recovered = kernels.cdf_at_many(lows, highs, probs, points)
+        np.testing.assert_allclose(recovered, levels, atol=1e-9)
+
+
+class TestMoments:
+    def test_mean_and_variance_match_reference(self):
+        cells = [(0.0, 10.0, 0.25), (10.0, 20.0, 0.75)]
+        lows, highs, probs = triple(cells)
+        assert kernels.mean(lows, highs, probs) == pytest.approx(reference_mean(cells))
+        histogram = Histogram1D.from_boundaries([0, 10, 20], [0.25, 0.75])
+        assert kernels.variance(lows, highs, probs) == pytest.approx(histogram.variance)
+
+
+class TestGroupedRearrangeCoarsen:
+    def test_single_group_matches_plain_kernels(self):
+        rng = np.random.default_rng(11)
+        lows = rng.uniform(0, 50, 40)
+        highs = lows + rng.uniform(1, 20, 40)
+        probs = rng.dirichlet(np.ones(40))
+        grouped = kernels.grouped_rearrange_coarsen(
+            lows, highs, probs, np.zeros(40, dtype=int), max_buckets=8
+        )
+        plain = kernels.coarsen(*kernels.rearrange(lows, highs, probs), 8)
+        np.testing.assert_allclose(grouped[0], plain[0], atol=1e-9)
+        np.testing.assert_allclose(grouped[2], plain[2], atol=1e-9)
+        assert np.all(grouped[3] == 0)
+
+    def test_groups_processed_independently(self):
+        rng = np.random.default_rng(5)
+        per_group = 30
+        group_cells = {}
+        all_lows, all_highs, all_probs, all_groups = [], [], [], []
+        for group in range(4):
+            lows = rng.uniform(0, 100, per_group)
+            highs = lows + rng.uniform(0.5, 25, per_group)
+            probs = rng.uniform(0.01, 1.0, per_group)
+            group_cells[group] = (lows, highs, probs)
+            all_lows.append(lows)
+            all_highs.append(highs)
+            all_probs.append(probs)
+            all_groups.append(np.full(per_group, group))
+        lows, highs, probs, groups = (np.concatenate(xs) for xs in
+                                      (all_lows, all_highs, all_probs, all_groups))
+        out = kernels.grouped_rearrange_coarsen(lows, highs, probs, groups.astype(int), 10)
+        for group, (glows, ghighs, gprobs) in group_cells.items():
+            mask = out[3] == group
+            expected = kernels.rearrange(glows, ghighs, gprobs, normalize=False)
+            if expected[2].size > 10:
+                expected = kernels.coarsen(*expected, 10)
+            assert mask.sum() == expected[2].size
+            np.testing.assert_allclose(out[0][mask], expected[0], atol=1e-6)
+            np.testing.assert_allclose(out[2][mask], expected[2], atol=1e-9)
+            # Per-group mass is preserved without normalisation.
+            assert out[2][mask].sum() == pytest.approx(gprobs.sum())
+
+    def test_over_cap_group_containing_global_minimum_keeps_its_mass(self):
+        """Regression: a cell whose shifted low lands exactly on its offset
+        window's start must not be floor-divided into the previous group."""
+        rng = np.random.default_rng(2)
+        # Group 0: small (passes through).  Group 1: over the cap and holds
+        # the global minimum, so its minimal cell shifts exactly onto the
+        # window boundary.
+        g1_lows = np.concatenate([[0.0], rng.uniform(0.0, 500.0, 39)])
+        g1_highs = g1_lows + rng.uniform(1.0, 40.0, 40)
+        g1_probs = rng.uniform(0.01, 1.0, 40)
+        lows = np.concatenate([[50.0, 60.0], g1_lows])
+        highs = np.concatenate([[60.0, 70.0], g1_highs])
+        probs = np.concatenate([[0.1, 0.2], g1_probs])
+        groups = np.concatenate([[0, 0], np.ones(40, dtype=int)]).astype(int)
+        out = kernels.grouped_rearrange_coarsen(lows, highs, probs, groups, max_buckets=8)
+        for group, mask_probs in ((0, probs[:2]), (1, g1_probs)):
+            mask = out[3] == group
+            assert out[2][mask].sum() == pytest.approx(mask_probs.sum())
+        # Group 1's output support must stay inside its input support.
+        mask = out[3] == 1
+        assert out[0][mask].min() >= 0.0 - 1e-6
+        assert out[1][mask].max() <= g1_highs.max() + 1e-6
+        # Group 0 passed through untouched.
+        mask = out[3] == 0
+        np.testing.assert_array_equal(out[0][mask], [50.0, 60.0])
+
+    def test_quantile_in_tiny_probability_bucket(self):
+        """Regression: the interpolation must divide by the bucket's true
+        probability, however small, not a floored divisor."""
+        lows = np.array([0.0, 1.0])
+        highs = np.array([1.0, 2.0])
+        probs = np.array([1.0 - 1e-12, 1e-12])
+        level = np.array([1.0 - 5e-13])
+        result = float(kernels.quantile_many(lows, highs, probs, level)[0])
+        assert result == pytest.approx(1.5, abs=1e-3)
+
+    def test_under_cap_groups_pass_through_untouched(self):
+        lows = np.array([0.0, 5.0, 100.0, 104.0])
+        highs = np.array([10.0, 15.0, 110.0, 114.0])
+        probs = np.array([0.2, 0.3, 0.25, 0.25])
+        groups = np.array([0, 0, 1, 1])
+        out = kernels.grouped_rearrange_coarsen(lows, highs, probs, groups, max_buckets=8)
+        # Overlapping cells stay overlapping: pass-through preserves them verbatim.
+        np.testing.assert_array_equal(out[0], lows)
+        np.testing.assert_array_equal(out[1], highs)
+        np.testing.assert_array_equal(out[2], probs)
+
+
+class TestClosedUpperEdge:
+    """Mass at exactly the final bucket's upper bound must count (satellite)."""
+
+    @pytest.fixture
+    def histogram(self):
+        return Histogram1D([Bucket(10, 20), Bucket(30, 50)], [0.4, 0.6])
+
+    def test_cdf_at_max_is_exactly_one(self, histogram):
+        assert histogram.cdf(histogram.max) == 1.0
+        assert histogram.prob_at_most(histogram.max) == 1.0
+
+    def test_cdf_values_at_max_is_exactly_one(self, histogram):
+        values = histogram.cdf_values([histogram.max, histogram.max + 1.0])
+        assert values[0] == 1.0
+        assert values[1] == 1.0
+
+    def test_prob_between_to_max_captures_all_mass(self, histogram):
+        assert histogram.prob_between(histogram.min, histogram.max) == pytest.approx(1.0)
+        assert histogram.prob_between(30, histogram.max) == pytest.approx(0.6)
+
+    def test_interior_uppers_stay_half_open(self, histogram):
+        # The closed edge applies only to the final bucket; interior bucket
+        # uppers contribute exactly their cumulative mass, nothing more.
+        assert histogram.cdf(20) == pytest.approx(0.4)
+        assert histogram.cdf(25) == pytest.approx(0.4)
+
+    def test_quantile_one_is_max(self, histogram):
+        assert histogram.quantile(1.0) == pytest.approx(histogram.max)
+
+    def test_batched_cdf_closed_edge(self, histogram):
+        assert prob_at_most_many([histogram], histogram.max)[0] == 1.0
+
+    def test_cdf_of_nan_is_zero(self, histogram):
+        assert histogram.cdf(float("nan")) == 0.0
+        assert histogram.prob_at_most(float("nan")) == 0.0
+
+    def test_as_triple_is_read_only(self, histogram):
+        lows, highs, probs = histogram.as_triple()
+        for array in (lows, highs, probs):
+            with pytest.raises(ValueError):
+                array[0] = 999.0
+
+    def test_many_buckets_float_accumulation(self):
+        # 1000 equal buckets: cumulative float error must not leave
+        # cdf(max) short of 1.
+        edges = np.linspace(0.0, 123.456, 1001)
+        histogram = Histogram1D.from_boundaries(list(edges), [1.0 / 1000] * 1000)
+        assert histogram.cdf(histogram.max) == 1.0
+        assert histogram.cdf_values([histogram.max])[0] == 1.0
+
+
+class TestReferenceConvolveAgainstObjects:
+    def test_reference_convolve_matches_histogram_convolve(self):
+        a = Histogram1D([Bucket(0, 10), Bucket(10, 30)], [0.3, 0.7])
+        b = Histogram1D([Bucket(5, 15), Bucket(15, 20)], [0.5, 0.5])
+        result = a.convolve(b, max_buckets=None)
+        reference = reference_convolve(
+            [(0, 10, 0.3), (10, 30, 0.7)], [(5, 15, 0.5), (15, 20, 0.5)], max_buckets=None
+        )
+        ref_lows, ref_highs, ref_probs = triple(reference)
+        np.testing.assert_allclose(result.lows, ref_lows, atol=1e-9)
+        np.testing.assert_allclose(result.highs, ref_highs, atol=1e-9)
+        np.testing.assert_allclose(result.probabilities, ref_probs, atol=1e-9)
