@@ -1,34 +1,259 @@
-"""Figure 18: stochastic routing time with LB / HP / OD as the cost estimator."""
+"""Figure 18 at service scale: stochastic routing through the batched engine.
 
-from repro.eval import fig18_routing, render_table
+Measures the paper's stochastic-routing workload (LB-DFS / HP-DFS / OD-DFS:
+find the path with the highest probability of arriving within a budget) on
+three configurations:
 
-from _bench_utils import run_once, write_result
+* **per-family engine table** -- the Figure 18 comparison itself: mean
+  routing time per estimator family through the batched best-first
+  :class:`RoutingEngine`, with success and truncation rates (``truncated``
+  distinguishes "no path meets the budget" from "the search gave up");
+* **pre-engine baseline** -- the legacy depth-first loop
+  (:meth:`DFSStochasticRouter.reference_find_route`), one scalar estimate
+  and one scalar CDF lookup per expansion, a fresh router per query (the
+  pre-engine deployment shape);
+* **service routing** -- the same workload through
+  :meth:`CostEstimationService.route_batch`: cold pass (batched estimation
+  + shared bounds index + estimate caches), then warm repeats served from
+  the bounded route cache.
+
+Acceptance: warm multi-query throughput must be at least **3x** the
+pre-engine baseline.  Results are persisted as text and JSON (environment
+stamped) under ``benchmarks/results/``.
+
+Run ``PYTHONPATH=src python benchmarks/bench_fig18_routing.py`` (add
+``--smoke`` for the CI smoke configuration).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro import (
+    CostEstimationService,
+    DFSStochasticRouter,
+    EstimatorParameters,
+    HPBaseline,
+    HybridGraphBuilder,
+    LegacyBaseline,
+    PathCostEstimator,
+    ReverseBoundsIndex,
+    RouteRequest,
+    RoutingEngine,
+    ServiceParameters,
+    SimulationParameters,
+    TrafficSimulator,
+    TrajectoryStore,
+    grid_network,
+)
+
+from _bench_utils import write_result, write_result_json
+
+PRESETS = {
+    "smoke": dict(
+        grid=5,
+        n_trajectories=250,
+        beta=10,
+        max_cardinality=4,
+        n_pairs=3,
+        budgets=(900.0,),
+        max_path_edges=10,
+        max_expansions=150,
+        repeats=3,
+        min_speedup=3.0,
+    ),
+    "default": dict(
+        grid=8,
+        n_trajectories=900,
+        beta=20,
+        max_cardinality=5,
+        n_pairs=6,
+        budgets=(600.0, 1200.0),
+        max_path_edges=14,
+        max_expansions=400,
+        repeats=5,
+        min_speedup=3.0,
+    ),
+}
+
+DEPARTURE_S = 8 * 3600.0
 
 
-def test_fig18_routing(benchmark, datasets):
-    def run():
-        return {
-            name: fig18_routing(
-                ds,
-                budgets_s=(600.0, 1200.0, 1800.0),
-                n_pairs=4,
-                max_path_edges=20,
-                max_expansions=400,
-            )
-            for name, ds in datasets.items()
+def sample_queries(network, n_pairs, budgets, seed=0):
+    """Random (source, target, budget) routing queries over the network."""
+    rng = np.random.default_rng(seed)
+    vertices = [vertex.vertex_id for vertex in network.vertices()]
+    queries = []
+    for _ in range(n_pairs):
+        source, target = (int(v) for v in rng.choice(vertices, size=2, replace=False))
+        for budget in budgets:
+            queries.append((source, target, float(budget)))
+    return queries
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--preset", choices=sorted(PRESETS), default="default")
+    parser.add_argument(
+        "--smoke", action="store_true", help="shorthand for --preset smoke (the CI job)"
+    )
+    args = parser.parse_args(argv)
+    preset_name = "smoke" if args.smoke else args.preset
+    preset = PRESETS[preset_name]
+
+    network = grid_network(
+        preset["grid"], preset["grid"], block_length_m=220.0, arterial_every=3, name="bench-city"
+    )
+    simulator = TrafficSimulator(
+        network,
+        SimulationParameters(
+            n_trajectories=preset["n_trajectories"], popular_route_count=10, seed=7
+        ),
+    )
+    store = TrajectoryStore(simulator.generate())
+    parameters = EstimatorParameters(beta=preset["beta"])
+    hybrid_graph = HybridGraphBuilder(
+        network, parameters, max_cardinality=preset["max_cardinality"]
+    ).build(store)
+    queries = sample_queries(network, preset["n_pairs"], preset["budgets"])
+    search_limits = dict(
+        max_path_edges=preset["max_path_edges"], max_expansions=preset["max_expansions"]
+    )
+
+    # -- Figure 18 table: engine routing time per estimator family. ------ #
+    families = {
+        "LB-DFS": LegacyBaseline(hybrid_graph),
+        "HP-DFS": HPBaseline(hybrid_graph),
+        "OD-DFS": PathCostEstimator(hybrid_graph),
+    }
+    family_rows = {}
+    # Free-flow bounds are estimator-independent; share them across families
+    # and prewarm every target so no family's timings absorb the sweeps.
+    shared_bounds = ReverseBoundsIndex(network)
+    for _, target, _ in queries:
+        shared_bounds.bounds_to(target)
+    for name, estimator in families.items():
+        engine = RoutingEngine(network, estimator, bounds_index=shared_bounds, **search_limits)
+        times, found, truncated = [], 0, 0
+        for source, target, budget in queries:
+            outcome = engine.find_route(source, target, DEPARTURE_S, budget)
+            times.append(outcome.elapsed_s)
+            found += int(outcome.found)
+            truncated += int(outcome.truncated)
+        family_rows[name] = {
+            "mean_s": float(np.mean(times)),
+            "found": found,
+            "truncated": truncated,
         }
 
-    results = run_once(benchmark, run)
-    sections = []
-    for name, result in results.items():
-        rows = [
-            {"budget (s)": budget, **{method: seconds for method, seconds in times.items()}}
-            for budget, times in sorted(result.mean_seconds.items())
-        ]
-        sections.append(
-            render_table(f"Figure 18 ({name}): mean routing time (s) per estimator and budget", rows)
+    # -- Pre-engine baseline: legacy DFS, fresh router per query. -------- #
+    od_estimator = PathCostEstimator(hybrid_graph)
+    started = time.perf_counter()
+    baseline_found = 0
+    baseline_truncated = 0
+    for source, target, budget in queries:
+        router = DFSStochasticRouter(network, od_estimator, **search_limits)
+        outcome = router.reference_find_route(source, target, DEPARTURE_S, budget)
+        baseline_found += int(outcome.found)
+        baseline_truncated += int(outcome.truncated)
+    baseline_elapsed = time.perf_counter() - started
+    baseline_latency = baseline_elapsed / len(queries)
+    baseline_qps = len(queries) / baseline_elapsed
+
+    # -- Service routing: cold pass, then warm repeats from route cache. - #
+    service = CostEstimationService(
+        PathCostEstimator(hybrid_graph),
+        ServiceParameters(
+            route_max_path_edges=preset["max_path_edges"],
+            route_max_expansions=preset["max_expansions"],
+        ),
+    )
+    requests = [
+        RouteRequest(source=source, target=target, departure_time_s=DEPARTURE_S, budget_s=budget)
+        for source, target, budget in queries
+    ]
+    started = time.perf_counter()
+    cold_responses = service.route_batch(requests)
+    cold_elapsed = time.perf_counter() - started
+    cold_qps = len(queries) / cold_elapsed
+
+    started = time.perf_counter()
+    for _ in range(preset["repeats"]):
+        warm_responses = service.route_batch(requests)
+    warm_elapsed = time.perf_counter() - started
+    n_warm = preset["repeats"] * len(queries)
+    warm_latency = warm_elapsed / n_warm
+    warm_qps = n_warm / warm_elapsed
+
+    # -- Acceptance. ----------------------------------------------------- #
+    assert all(response.cache_hit for response in warm_responses), "warm pass missed the route cache"
+    for cold, warm in zip(cold_responses, warm_responses):
+        assert cold.found == warm.found
+        assert cold.probability == warm.probability, "route cache returned a different answer"
+    speedup = baseline_latency / warm_latency
+    min_speedup = preset["min_speedup"]
+    assert speedup >= min_speedup, (
+        f"warm routing speedup only {speedup:.1f}x vs the pre-engine baseline "
+        f"(need >= {min_speedup}x)"
+    )
+
+    cold_found = sum(int(response.found) for response in cold_responses)
+    cold_truncated = sum(int(response.truncated) for response in cold_responses)
+    route_stats = service.route_cache_stats()
+    lines = [
+        f"fig18 stochastic routing ({preset_name}: {preset['grid']}x{preset['grid']} grid, "
+        f"{len(store)} trajectories, {len(queries)} routing queries, "
+        f"{preset['repeats']} warm repeats)",
+        "",
+        "engine routing time per estimator family (the Figure 18 comparison):",
+    ]
+    for name, row in family_rows.items():
+        lines.append(
+            f"  {name:>6}: {row['mean_s'] * 1e3:9.1f} ms/query   "
+            f"found {row['found']}/{len(queries)}   truncated {row['truncated']}"
         )
-    write_result("fig18_routing", "\n\n".join(sections))
-    for result in results.values():
-        for times in result.mean_seconds.values():
-            assert all(value > 0 for value in times.values())
+    lines += [
+        "",
+        f"pre-engine baseline : {baseline_qps:10.2f} QPS  ({baseline_latency * 1e3:9.2f} ms/query)"
+        f"   found {baseline_found}/{len(queries)}   truncated {baseline_truncated}",
+        f"service cold        : {cold_qps:10.2f} QPS  ({cold_elapsed / len(queries) * 1e3:9.2f} ms/query)"
+        f"   found {cold_found}/{len(queries)}   truncated {cold_truncated}",
+        f"service warm        : {warm_qps:10.2f} QPS  ({warm_latency * 1e3:9.3f} ms/query)",
+        f"warm speedup        : {speedup:10.1f} x  (acceptance: >= {min_speedup:.0f}x)",
+        "",
+        f"route cache         : hit rate {route_stats.hit_rate:.3f} "
+        f"({route_stats.hits} hits / {route_stats.misses} misses, "
+        f"size {route_stats.size}/{route_stats.capacity})",
+    ]
+    write_result("fig18_routing", "\n".join(lines))
+    write_result_json(
+        "fig18_routing",
+        {
+            "preset": preset_name,
+            "n_queries": len(queries),
+            "repeats": preset["repeats"],
+            "family_mean_ms": {
+                name: row["mean_s"] * 1e3 for name, row in family_rows.items()
+            },
+            "family_truncated": {
+                name: row["truncated"] for name, row in family_rows.items()
+            },
+            "baseline_qps": baseline_qps,
+            "baseline_truncated": baseline_truncated,
+            "service_cold_qps": cold_qps,
+            "service_warm_qps": warm_qps,
+            "baseline_latency_ms": baseline_latency * 1e3,
+            "warm_latency_ms": warm_latency * 1e3,
+            "warm_speedup_vs_baseline": speedup,
+            "route_cache_hit_rate": route_stats.hit_rate,
+        },
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -141,6 +141,19 @@ class ServiceParameters:
         paths for warmup.
     warmup_intervals_per_path:
         Number of busiest alpha-intervals precomputed per warmup path.
+    route_cache_capacity:
+        Maximum number of finished stochastic-routing answers
+        (:class:`~repro.routing.RouteResult`) kept in the bounded route
+        cache serving :meth:`CostEstimationService.route`.
+    route_batch_size:
+        How many frontier paths the routing engine estimates and
+        bound-scores per batched kernel call.
+    route_max_path_edges:
+        Depth-pruning limit of the service's routing engine (candidate
+        paths are not extended beyond this many edges).
+    route_max_expansions:
+        Expansion budget of the service's routing engine; searches that
+        exhaust it report ``truncated=True``.
     """
 
     result_cache_capacity: int = 4096
@@ -150,6 +163,10 @@ class ServiceParameters:
     warmup_top_paths: int = 16
     warmup_max_cardinality: int = 4
     warmup_intervals_per_path: int = 4
+    route_cache_capacity: int = 1024
+    route_batch_size: int = 16
+    route_max_path_edges: int = 40
+    route_max_expansions: int = 20000
 
     def __post_init__(self) -> None:
         if self.result_cache_capacity < 1:
@@ -176,6 +193,22 @@ class ServiceParameters:
             raise ConfigurationError(
                 "warmup_intervals_per_path must be >= 1, got "
                 f"{self.warmup_intervals_per_path}"
+            )
+        if self.route_cache_capacity < 1:
+            raise ConfigurationError(
+                f"route_cache_capacity must be >= 1, got {self.route_cache_capacity}"
+            )
+        if self.route_batch_size < 1:
+            raise ConfigurationError(
+                f"route_batch_size must be >= 1, got {self.route_batch_size}"
+            )
+        if self.route_max_path_edges < 1:
+            raise ConfigurationError(
+                f"route_max_path_edges must be >= 1, got {self.route_max_path_edges}"
+            )
+        if self.route_max_expansions < 1:
+            raise ConfigurationError(
+                f"route_max_expansions must be >= 1, got {self.route_max_expansions}"
             )
 
 

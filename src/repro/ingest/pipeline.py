@@ -133,6 +133,7 @@ class TrajectoryIngestPipeline:
         self._since_refresh = 0
         self._invalidated_results = 0
         self._invalidated_decompositions = 0
+        self._invalidated_routes = 0
         self._rewarmed = 0
         self._refreshes = 0
 
@@ -350,6 +351,7 @@ class TrajectoryIngestPipeline:
                 pending_dirty_edges=len(self._pending_dirty),
                 invalidated_results=self._invalidated_results,
                 invalidated_decompositions=self._invalidated_decompositions,
+                invalidated_routes=self._invalidated_routes,
                 rewarmed=self._rewarmed,
                 refreshes=self._refreshes,
             )
@@ -463,6 +465,7 @@ class TrajectoryIngestPipeline:
     def _record_invalidation(self, invalidation: "InvalidationReport") -> None:
         self._invalidated_results += len(invalidation.result_keys)
         self._invalidated_decompositions += len(invalidation.decomposition_keys)
+        self._invalidated_routes += len(invalidation.route_keys)
 
     def _rewarm(self, result_keys: tuple) -> int:
         """Recompute recently invalidated result-cache entries.

@@ -120,6 +120,8 @@ class IngestStats:
     pending_dirty_edges: int = 0
     invalidated_results: int = 0
     invalidated_decompositions: int = 0
+    #: Cached routes evicted because their path crossed a dirty edge.
+    invalidated_routes: int = 0
     rewarmed: int = 0
     refreshes: int = 0
 

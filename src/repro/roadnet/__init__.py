@@ -9,10 +9,12 @@ from .generators import (
     ring_radial_city,
 )
 from .routing import (
+    ReverseBoundsIndex,
     astar_path,
     dijkstra,
     k_shortest_paths,
     random_path,
+    reverse_dijkstra,
     shortest_path,
 )
 from .spatial import Point, haversine_m, project_point_to_segment
@@ -21,6 +23,7 @@ __all__ = [
     "Edge",
     "Path",
     "Point",
+    "ReverseBoundsIndex",
     "RoadNetwork",
     "Vertex",
     "aalborg_like",
@@ -32,6 +35,7 @@ __all__ = [
     "k_shortest_paths",
     "project_point_to_segment",
     "random_path",
+    "reverse_dijkstra",
     "ring_radial_city",
     "shortest_path",
 ]

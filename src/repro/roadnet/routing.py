@@ -9,6 +9,8 @@ paths for sampling query workloads and trip itineraries.
 from __future__ import annotations
 
 import heapq
+import threading
+from collections import OrderedDict
 from typing import Callable
 
 import numpy as np
@@ -24,6 +26,41 @@ def _free_flow_weight(edge: Edge) -> float:
     return edge.free_flow_time_s
 
 
+def _relax_loop(
+    start: int,
+    edges_of: Callable[[int], list[Edge]],
+    neighbor_of: Callable[[Edge], int],
+    weight: EdgeWeight,
+    target: int | None = None,
+    predecessor: dict[int, int] | None = None,
+) -> dict[int, float]:
+    """The shared Dijkstra relaxation loop (forward and reverse searches).
+
+    ``edges_of`` / ``neighbor_of`` select the adjacency direction; the
+    optional ``predecessor`` dict is filled with the edge id used to reach
+    each settled vertex; ``target`` stops the search early once settled.
+    """
+    distances: dict[int, float] = {start: 0.0}
+    settled: set[int] = set()
+    heap: list[tuple[float, int]] = [(0.0, start)]
+    while heap:
+        dist, vertex = heapq.heappop(heap)
+        if vertex in settled:
+            continue
+        settled.add(vertex)
+        if target is not None and vertex == target:
+            break
+        for edge in edges_of(vertex):
+            neighbor = neighbor_of(edge)
+            candidate = dist + weight(edge)
+            if candidate < distances.get(neighbor, float("inf")):
+                distances[neighbor] = candidate
+                if predecessor is not None:
+                    predecessor[neighbor] = edge.edge_id
+                heapq.heappush(heap, (candidate, neighbor))
+    return distances
+
+
 def dijkstra(
     network: RoadNetwork,
     source: int,
@@ -36,25 +73,112 @@ def dijkstra(
     is the edge id used to reach vertex ``v``.  If ``target`` is given the
     search stops early once the target is settled.
     """
-    weight = weight or _free_flow_weight
-    distances: dict[int, float] = {source: 0.0}
     predecessor: dict[int, int] = {}
-    settled: set[int] = set()
-    heap: list[tuple[float, int]] = [(0.0, source)]
-    while heap:
-        dist, vertex = heapq.heappop(heap)
-        if vertex in settled:
-            continue
-        settled.add(vertex)
-        if target is not None and vertex == target:
-            break
-        for edge in network.out_edges(vertex):
-            candidate = dist + weight(edge)
-            if candidate < distances.get(edge.target, float("inf")):
-                distances[edge.target] = candidate
-                predecessor[edge.target] = edge.edge_id
-                heapq.heappush(heap, (candidate, edge.target))
+    distances = _relax_loop(
+        source,
+        network.out_edges,
+        lambda edge: edge.target,
+        weight or _free_flow_weight,
+        target=target,
+        predecessor=predecessor,
+    )
     return distances, predecessor
+
+
+def reverse_dijkstra(
+    network: RoadNetwork,
+    target: int,
+    weight: EdgeWeight | None = None,
+) -> dict[int, float]:
+    """Shortest-path distance from every vertex *to* ``target``.
+
+    Runs Dijkstra over the incoming-edge adjacency directly, so no reversed
+    copy of the network is ever materialised.  The result maps each vertex
+    that can reach ``target`` to its distance (``target`` itself maps to
+    ``0.0``); unreachable vertices are absent.
+    """
+    network.vertex(target)  # fail fast on an unknown target
+    return _relax_loop(
+        target, network.in_edges, lambda edge: edge.source, weight or _free_flow_weight
+    )
+
+
+class ReverseBoundsIndex:
+    """Per-target lower bounds on the cost to reach a target, computed once.
+
+    Stochastic routers prune candidate paths with an optimistic (free-flow)
+    estimate of the remaining distance to the target.  Computing those
+    bounds used to mean rebuilding a reversed copy of the whole road
+    network on *every* query; this index runs a reverse Dijkstra straight
+    over ``network.in_edges`` and memoises the resulting bounds per target,
+    so repeated queries to the same target -- the common case for a
+    routing service -- pay the sweep exactly once.
+
+    The index is bounded: at most ``max_targets`` targets are kept, evicted
+    least-recently-used, so a service fronting millions of users keeps a
+    flat memory footprint.  ``n_computes`` counts the Dijkstra sweeps
+    actually run (the regression tests pin "a second query to the same
+    target does no recompute" on it).
+
+    The index assumes a **frozen topology**: bounds depend only on the
+    network's vertices, edges and free-flow weights, all of which are
+    fixed once routing starts everywhere in this library.  If a network
+    *is* mutated in place (``add_vertex`` / ``add_edge`` after the index
+    exists), call :meth:`clear` -- cached bounds would otherwise miss the
+    new connectivity and over-prune.
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        weight: EdgeWeight | None = None,
+        max_targets: int = 256,
+    ) -> None:
+        if max_targets < 1:
+            raise RoutingError(f"max_targets must be >= 1, got {max_targets}")
+        self.network = network
+        self._weight = weight
+        self._max_targets = max_targets
+        self._bounds: OrderedDict[int, dict[int, float]] = OrderedDict()
+        # The index is shared by every route query of a service, whose
+        # batch executor may serve queries from worker threads.
+        self._lock = threading.Lock()
+        #: Number of reverse-Dijkstra sweeps actually computed (cache misses).
+        self.n_computes = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._bounds)
+
+    def bounds_to(self, target: int) -> dict[int, float]:
+        """Lower-bound cost from every vertex to ``target`` (cached)."""
+        with self._lock:
+            cached = self._bounds.get(target)
+            if cached is not None:
+                self._bounds.move_to_end(target)
+                return cached
+        # Run the sweep outside the lock so concurrent queries to *other*
+        # targets are not serialised behind it; a racing duplicate compute
+        # for the same target is harmless (last insert wins, same values).
+        bounds = reverse_dijkstra(self.network, target, self._weight)
+        with self._lock:
+            self.n_computes += 1
+            if target not in self._bounds and len(self._bounds) >= self._max_targets:
+                self._bounds.popitem(last=False)
+            self._bounds[target] = bounds
+            self._bounds.move_to_end(target)
+        return bounds
+
+    def clear(self) -> None:
+        """Drop all cached bounds (e.g. after the network itself changed)."""
+        with self._lock:
+            self._bounds.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"ReverseBoundsIndex({self.network.name!r}, targets={len(self._bounds)}, "
+            f"computes={self.n_computes})"
+        )
 
 
 def _reconstruct(network: RoadNetwork, predecessor: dict[int, int], source: int, target: int) -> Path:

@@ -1,13 +1,29 @@
-"""Stochastic routing built on top of path cost distribution estimation."""
+"""Stochastic routing built on top of path cost distribution estimation.
+
+The Figure 18 workload runs on two layers:
+
+* :class:`RoutingEngine` -- batched best-first search: frontier paths are
+  estimated in batches (through the estimation service's deduplicated
+  ``estimate_batch`` when available) and their budget-pruning bounds are
+  scored with one vectorised CDF kernel call per batch;
+* :class:`DFSStochasticRouter` -- the original API, now a thin wrapper over
+  the engine; its legacy depth-first loop is retained as
+  :meth:`~DFSStochasticRouter.reference_find_route` and pinned against the
+  engine by the equivalence property suite.
+"""
 
 from .queries import ProbabilisticBudgetQuery, first_order_dominates
 from .incremental import IncrementalCostEstimator
-from .dfs_router import DFSStochasticRouter, RouteResult
+from .engine import RouteRequest, RouteResponse, RouteResult, RoutingEngine
+from .dfs_router import DFSStochasticRouter
 
 __all__ = [
     "DFSStochasticRouter",
     "IncrementalCostEstimator",
     "ProbabilisticBudgetQuery",
+    "RouteRequest",
+    "RouteResponse",
     "RouteResult",
+    "RoutingEngine",
     "first_order_dominates",
 ]

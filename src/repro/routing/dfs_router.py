@@ -5,17 +5,31 @@ Figure 18 experiment (after Hua & Pei's probabilistic path queries): given a
 source, a destination, a departure time and a travel-time budget, find the
 path with the highest probability of arriving within the budget.
 
-Candidate paths are explored with a depth-first search that extends a path
-one edge at a time ("path + another edge").  Two pruning rules keep the
-search tractable:
+:class:`DFSStochasticRouter` is kept as a thin compatibility wrapper over
+the batched best-first :class:`~repro.routing.engine.RoutingEngine`: the
+public ``find_route`` API (and the two pruning rules below) are unchanged,
+but candidate paths are now estimated in batches and bound-scored with one
+vectorised CDF kernel call per batch.  The original depth-first inner loop
+is retained as :meth:`DFSStochasticRouter.reference_find_route` -- the
+reference implementation the equivalence property suite pins the engine
+against, and the pre-engine baseline the Figure 18 benchmark compares
+throughput to.
+
+Two pruning rules keep the search tractable:
 
 * **budget pruning** -- the probability that the partial path plus an
   optimistic (free-flow) estimate of the remaining distance meets the budget
   is an upper bound on any completion's probability; candidates whose bound
-  falls below the best probability found so far (or a caller-given
-  threshold) are discarded;
+  falls below a caller-given threshold (or strictly below the best
+  probability found so far, where a tie cannot improve the answer) are
+  discarded;
 * **depth pruning** -- paths are not extended beyond ``max_path_edges``
   edges.
+
+The free-flow lower bounds come from a
+:class:`~repro.roadnet.routing.ReverseBoundsIndex` shared across queries,
+so repeated queries to the same target no longer rebuild a reversed copy of
+the road network.
 
 The cost estimator is pluggable (LB, HP or OD), which is exactly how the
 paper compares LB-DFS / HP-DFS / OD-DFS.
@@ -24,28 +38,16 @@ paper compares LB-DFS / HP-DFS / OD-DFS.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
 
 from ..exceptions import RoutingError
 from ..roadnet.graph import RoadNetwork
 from ..roadnet.path import Path
-from ..roadnet.routing import dijkstra
+from ..roadnet.routing import ReverseBoundsIndex
+from .engine import RouteResult, RoutingEngine
 from .incremental import IncrementalCostEstimator
 from .queries import SupportsEstimate
 
-
-@dataclass(frozen=True)
-class RouteResult:
-    """The outcome of a stochastic route search."""
-
-    path: Path | None
-    probability: float
-    paths_evaluated: int
-    elapsed_s: float
-
-    @property
-    def found(self) -> bool:
-        return self.path is not None
+__all__ = ["DFSStochasticRouter", "RouteResult"]
 
 
 class DFSStochasticRouter:
@@ -59,32 +61,66 @@ class DFSStochasticRouter:
         probability_threshold: float = 0.0,
         use_incremental: bool = True,
         max_expansions: int = 20000,
+        bounds_index: ReverseBoundsIndex | None = None,
     ) -> None:
-        if max_path_edges < 1:
-            raise RoutingError("max_path_edges must be >= 1")
-        if not 0.0 <= probability_threshold <= 1.0:
-            raise RoutingError("probability_threshold must be in [0, 1]")
         self.network = network
-        self.max_path_edges = max_path_edges
-        self.probability_threshold = probability_threshold
-        self.max_expansions = max_expansions
-        if use_incremental and not isinstance(estimator, IncrementalCostEstimator):
-            self.estimator: SupportsEstimate = IncrementalCostEstimator(estimator)
-        else:
-            self.estimator = estimator
+        self.engine = RoutingEngine(
+            network,
+            estimator,
+            max_path_edges=max_path_edges,
+            probability_threshold=probability_threshold,
+            max_expansions=max_expansions,
+            use_incremental=use_incremental,
+            bounds_index=bounds_index,
+        )
 
     # ------------------------------------------------------------------ #
-    def _free_flow_lower_bounds(self, target: int) -> dict[int, float]:
-        """Free-flow travel time from every vertex to the target (reverse Dijkstra)."""
-        reverse = RoadNetwork(name=f"{self.network.name}-reversed")
-        for vertex in self.network.vertices():
-            reverse.add_vertex(vertex.vertex_id, vertex.location.x, vertex.location.y)
-        for edge in self.network.edges():
-            reverse.add_edge(
-                edge.target, edge.source, edge.length_m, edge.speed_limit_kmh, edge.category
-            )
-        distances, _ = dijkstra(reverse, target)
-        return distances
+    # The search limits and the estimator live on the engine; the wrapper
+    # reads (and writes) through, so find_route and reference_find_route
+    # can never search under different settings.
+    @property
+    def estimator(self) -> SupportsEstimate:
+        """The (possibly incremental-wrapped) estimator both searches use."""
+        return self.engine.estimator
+
+    @estimator.setter
+    def estimator(self, value: SupportsEstimate) -> None:
+        self.engine.estimator = value
+
+    @property
+    def max_path_edges(self) -> int:
+        return self.engine.max_path_edges
+
+    @max_path_edges.setter
+    def max_path_edges(self, value: int) -> None:
+        if value < 1:
+            raise RoutingError("max_path_edges must be >= 1")
+        self.engine.max_path_edges = value
+
+    @property
+    def probability_threshold(self) -> float:
+        return self.engine.probability_threshold
+
+    @probability_threshold.setter
+    def probability_threshold(self, value: float) -> None:
+        if not 0.0 <= value <= 1.0:
+            raise RoutingError("probability_threshold must be in [0, 1]")
+        self.engine.probability_threshold = value
+
+    @property
+    def max_expansions(self) -> int:
+        return self.engine.max_expansions
+
+    @max_expansions.setter
+    def max_expansions(self, value: int) -> None:
+        if value < 1:
+            raise RoutingError("max_expansions must be >= 1")
+        self.engine.max_expansions = value
+
+    @property
+    def bounds_index(self) -> ReverseBoundsIndex:
+        """The shared per-target free-flow bounds (one Dijkstra per target)."""
+        return self.engine.bounds_index
 
     def find_route(
         self,
@@ -94,19 +130,39 @@ class DFSStochasticRouter:
         budget_s: float,
     ) -> RouteResult:
         """Find the source-target path with the highest P(travel time <= budget)."""
+        return self.engine.find_route(source, target, departure_time_s, budget_s)
+
+    # ------------------------------------------------------------------ #
+    def reference_find_route(
+        self,
+        source: int,
+        target: int,
+        departure_time_s: float,
+        budget_s: float,
+    ) -> RouteResult:
+        """The original depth-first search, one scalar estimate per expansion.
+
+        Numerically equivalent to :meth:`find_route` (the property suite
+        pins both to the same best probability within 1e-9); kept as the
+        pre-engine baseline for benchmarking and as the engine's reference
+        implementation.
+        """
         if source == target:
             raise RoutingError("source and target must differ")
         if budget_s <= 0:
             raise RoutingError("budget_s must be positive")
         started = time.perf_counter()
         if isinstance(self.estimator, IncrementalCostEstimator):
+            # Per-query cache, as in find_route: answers depend only on
+            # the query, not on earlier searches.
             self.estimator.clear()
-        lower_bounds = self._free_flow_lower_bounds(target)
+        threshold = self.probability_threshold
+        lower_bounds = self.bounds_index.bounds_to(target)
         if source not in lower_bounds:
             return RouteResult(None, 0.0, 0, time.perf_counter() - started)
 
         best_path: Path | None = None
-        best_probability = self.probability_threshold
+        best_probability = 0.0
         paths_evaluated = 0
         expansions = 0
 
@@ -131,7 +187,14 @@ class DFSStochasticRouter:
             # prob_at_most is a cumulative-array lookup (no bucket loop), so
             # the pruning bound costs O(log buckets) per expansion.
             optimistic_probability = estimate.histogram.prob_at_most(budget_s - remaining_bound)
-            if optimistic_probability <= best_probability:
+            # Budget pruning: discard when the bound *falls below* the
+            # threshold (a bound exactly at the threshold survives), or when
+            # it cannot strictly beat an already-found best.  A zero bound
+            # is hopeless regardless (zero-probability routes are never
+            # reported), which keeps infeasible-budget queries cheap.
+            if optimistic_probability <= 0.0 or optimistic_probability < threshold:
+                continue
+            if best_path is not None and optimistic_probability <= best_probability:
                 continue
 
             if current_vertex == target:
@@ -142,7 +205,9 @@ class DFSStochasticRouter:
                     if remaining_bound == 0.0
                     else estimate.histogram.prob_at_most(budget_s)
                 )
-                if probability > best_probability:
+                if probability <= 0.0:
+                    continue
+                if best_path is None or probability > best_probability:
                     best_probability = probability
                     best_path = path
                 continue
@@ -161,6 +226,7 @@ class DFSStochasticRouter:
                     (edge_ids + (edge.edge_id,), visited | {edge.target}, edge.target)
                 )
 
+        truncated = bool(stack) and expansions >= self.max_expansions
         elapsed = time.perf_counter() - started
         found_probability = best_probability if best_path is not None else 0.0
-        return RouteResult(best_path, found_probability, paths_evaluated, elapsed)
+        return RouteResult(best_path, found_probability, paths_evaluated, elapsed, truncated)

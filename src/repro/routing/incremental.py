@@ -4,9 +4,13 @@ Stochastic routing algorithms repeatedly extend a candidate path by one
 edge and re-evaluate its cost distribution (Section 4.3).  The incremental
 estimator wraps any path cost estimator with
 
-* a **memoisation cache** keyed by the path's edge sequence, so the many
-  shared prefixes a depth-first search revisits are only estimated once,
-  and
+* a **bounded memoisation cache** keyed by the path's edge sequence, so the
+  many shared prefixes a route search revisits are only estimated once.
+  The cache reuses the service's LRU policy
+  (:class:`~repro.service.cache.LRUCache`): capacity-bounded with
+  least-recently-used eviction, so a long-running search -- or an engine
+  reusing one estimator across many queries -- keeps a flat memory
+  footprint instead of growing without bound;
 * a cheap **extension rule**: when a cached prefix estimate exists, the
   extension's distribution is obtained by convolving the prefix's cost
   histogram with the new edge's unit distribution -- a single vectorised
@@ -15,9 +19,16 @@ estimator wraps any path cost estimator with
   is recomputed lazily every ``refresh_every`` extensions, so the accuracy
   stays close to the wrapped estimator while the per-edge work during
   search stays small.
+
+Extended estimates carry their prefix's entropy and step timings forward
+(tagged with an ``"inc"`` timing entry for the extension itself), so
+downstream reporting never sees a ``NaN`` entropy it cannot distinguish
+from a real value.
 """
 
 from __future__ import annotations
+
+import time
 
 from ..config import EstimatorParameters
 from ..exceptions import RoutingError
@@ -35,15 +46,24 @@ class IncrementalCostEstimator:
         estimator,
         hybrid_graph: HybridGraph | None = None,
         refresh_every: int = 4,
+        cache_capacity: int = 4096,
     ) -> None:
         if refresh_every < 1:
             raise RoutingError("refresh_every must be >= 1")
+        if cache_capacity < 1:
+            raise RoutingError("cache_capacity must be >= 1")
+        # Imported lazily: the service layer imports the routing engine, so
+        # a module-level import here would be circular.
+        from ..service.cache import LRUCache
+
         self.estimator = estimator
         self.hybrid_graph = hybrid_graph if hybrid_graph is not None else getattr(
             estimator, "hybrid_graph", None
         )
         self.refresh_every = refresh_every
-        self._cache: dict[tuple[tuple[int, ...], float], tuple[CostEstimate, int]] = {}
+        self._cache: "LRUCache[tuple[tuple[int, ...], float], tuple[CostEstimate, int]]" = (
+            LRUCache(cache_capacity)
+        )
 
     @property
     def parameters(self) -> EstimatorParameters | None:
@@ -72,13 +92,14 @@ class IncrementalCostEstimator:
         else:
             estimate = self.estimator.estimate(path, departure_time_s)
             staleness = 0
-        self._cache[key] = (estimate, staleness)
+        self._cache.put(key, (estimate, staleness))
         return estimate
 
     def _extend(
         self, prefix_estimate: CostEstimate, path: Path, departure_time_s: float
     ) -> CostEstimate:
         """Extend a cached prefix estimate by the path's final edge (convolution)."""
+        started = time.perf_counter()
         new_edge = path.edge_ids[-1]
         assert self.hybrid_graph is not None
         parameters = self.hybrid_graph.parameters
@@ -87,15 +108,27 @@ class IncrementalCostEstimator:
             new_edge, interval_of(arrival, parameters.alpha_minutes)
         )
         histogram = prefix_estimate.histogram.convolve(unit.cost_distribution())
+        # The extension inherits the prefix's entropy (the convolution step
+        # adds no decomposition of its own) and carries the prefix's step
+        # timings forward, adding the extension's own cost under "inc".
+        elapsed = time.perf_counter() - started
+        timings = dict(prefix_estimate.timings_s)
+        timings["inc"] = timings.get("inc", 0.0) + elapsed
+        timings["total"] = timings.get("total", 0.0) + elapsed
         return CostEstimate(
             path=path,
             departure_time_s=departure_time_s,
             histogram=histogram,
-            method=f"{prefix_estimate.method}+inc",
+            method=f"{prefix_estimate.method}+inc"
+            if not prefix_estimate.method.endswith("+inc")
+            else prefix_estimate.method,
             decomposition=None,
-            entropy=float("nan"),
-            timings_s={"total": 0.0},
+            entropy=prefix_estimate.entropy,
+            timings_s=timings,
         )
 
     def cache_size(self) -> int:
         return len(self._cache)
+
+    def cache_capacity(self) -> int:
+        return self._cache.capacity

@@ -4,7 +4,9 @@ The subsystem that turns the cold-query estimator into an interactive
 serving layer:
 
 * :class:`CostEstimationService` -- typed request/response API, bounded LRU
-  result + decomposition caches, batch dedup, warmup;
+  result + decomposition + route caches, batch dedup, warmup, and a
+  stochastic-routing API (``route`` / ``route_batch``) backed by the
+  batched best-first :class:`~repro.routing.RoutingEngine`;
 * :class:`EstimateRequest` / :class:`EstimateResponse` -- the service API;
 * :class:`LRUCache` / :class:`EstimateCache` / :class:`CacheStats` -- the
   bounded cache primitives, with edge-level targeted invalidation;
@@ -15,12 +17,13 @@ serving layer:
 """
 
 from .batch import BatchExecutor
-from .cache import CacheStats, EstimateCache, LRUCache
+from .cache import CacheStats, EstimateCache, LRUCache, RouteCache
 from .requests import (
     SOURCE_BATCH_DEDUP,
     SOURCE_COMPUTED,
     SOURCE_DECOMPOSITION_CACHE,
     SOURCE_RESULT_CACHE,
+    SOURCE_ROUTE_CACHE,
     EstimateRequest,
     EstimateResponse,
 )
@@ -36,10 +39,12 @@ __all__ = [
     "EstimateResponse",
     "InvalidationReport",
     "LRUCache",
+    "RouteCache",
     "SOURCE_BATCH_DEDUP",
     "SOURCE_COMPUTED",
     "SOURCE_DECOMPOSITION_CACHE",
     "SOURCE_RESULT_CACHE",
+    "SOURCE_ROUTE_CACHE",
     "WarmupReport",
     "most_traveled_paths",
     "warmup_from_store",

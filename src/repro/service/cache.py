@@ -1,9 +1,10 @@
 """Bounded, thread-safe LRU caches for the estimation service.
 
-The service keeps two of these: a *result cache* holding finished
-:class:`~repro.core.estimator.CostEstimate` objects and a *decomposition
-cache* holding propagated joints (the output of the OI + JC steps).  Both
-are capacity-bounded so the service's memory stays flat under heavy,
+The service keeps three of these: a *result cache* holding finished
+:class:`~repro.core.estimator.CostEstimate` objects, a *decomposition
+cache* holding propagated joints (the output of the OI + JC steps), and a
+*route cache* holding finished stochastic-routing answers.  All are
+capacity-bounded so the service's memory stays flat under heavy,
 diverse traffic -- the motivation mirrors bounded-memory operator design in
 database systems: degrade gracefully (recompute) instead of growing without
 limit.
@@ -165,6 +166,21 @@ class LRUCache(Generic[K, V]):
             self._invalidations += len(doomed)
             return doomed
 
+    def invalidate_values(self, predicate: Callable[[V], bool]) -> list[K]:
+        """Drop every entry whose *value* satisfies ``predicate``.
+
+        The value-side counterpart of :meth:`invalidate_where`, for caches
+        whose staleness is a property of what was computed rather than of
+        the lookup key (e.g. a route cache keyed by the query but stale
+        when the *answer's* path crosses a dirty edge).
+        """
+        with self._lock:
+            doomed = [key for key, value in self._entries.items() if predicate(value)]
+            for key in doomed:
+                del self._entries[key]
+            self._invalidations += len(doomed)
+            return doomed
+
     def stats(self) -> CacheStats:
         """A consistent snapshot of the counters."""
         with self._lock:
@@ -201,3 +217,35 @@ class EstimateCache(LRUCache[K, V]):
         if not dirty:
             return []
         return self.invalidate_where(lambda key: not dirty.isdisjoint(key[0]))
+
+
+class RouteCache(LRUCache[K, V]):
+    """An LRU cache of :class:`~repro.routing.RouteResult` answers.
+
+    Unlike :class:`EstimateCache`, staleness here is a property of the
+    cached *answer*, not the lookup key: a route query is keyed by
+    ``(source, target, alpha-interval, budget, method, limits)``, but the
+    eviction rule looks at the winning path, so
+    :meth:`invalidate_edges` scans cached values.
+
+    Dropping exactly the routes whose winning path crosses a dirty edge is
+    a deliberate *approximation*: a route answer in principle depends on
+    every candidate path the search compared, so fresh evidence on an
+    unexplored alternative can make a cached winner second-best without
+    evicting it.  The entry still describes a real path with a correct
+    (as-of-computation) probability; it is refreshed on eviction, on
+    :meth:`~repro.service.CostEstimationService.clear_caches`, or on a
+    graph :meth:`~repro.service.CostEstimationService.rebase` without a
+    dirty set.  "Not found" answers get no such grace: they summarise the
+    whole pruned search space (there is no path to test disjointness
+    against), so they are dropped on *any* dirty set.
+    """
+
+    def invalidate_edges(self, edge_ids: Iterable[int]) -> list[K]:
+        """Drop routes whose path crosses ``edge_ids`` (plus not-found entries)."""
+        dirty = frozenset(edge_ids)
+        if not dirty:
+            return []
+        return self.invalidate_values(
+            lambda result: result.path is None or not dirty.isdisjoint(result.path.edge_ids)
+        )

@@ -22,6 +22,8 @@ SOURCE_RESULT_CACHE = "result-cache"
 SOURCE_BATCH_DEDUP = "batch-dedup"
 SOURCE_DECOMPOSITION_CACHE = "decomposition-cache"
 SOURCE_COMPUTED = "computed"
+#: Route responses answered by the bounded route cache.
+SOURCE_ROUTE_CACHE = "route-cache"
 
 
 @dataclass(frozen=True)

@@ -17,7 +17,13 @@ routing traffic:
   Figure 1(a) scenario) and can fan out on a thread pool;
 * a **warmup pass** (:meth:`CostEstimationService.warmup`) precomputes the
   trajectory store's most-traveled paths so the cache is hot before the
-  first user query.
+  first user query;
+* a **routing API** (:meth:`CostEstimationService.route` /
+  :meth:`CostEstimationService.route_batch`): stochastic routing queries
+  (the paper's Figure 18 workload) run on the batched best-first
+  :class:`~repro.routing.RoutingEngine`, estimate through the caches
+  above, and land in a bounded route cache that the edge-dirty
+  invalidation path (live GPS ingest) keeps fresh.
 
 Caching granularity: the result key buckets the departure time into the
 alpha-interval containing it, mirroring the hybrid graph's own temporal
@@ -48,14 +54,16 @@ from ..core.hybrid_graph import HybridGraph
 from ..core.joint import PropagatedJoint
 from ..exceptions import ServiceError
 from ..roadnet.path import Path
+from ..routing.engine import RouteRequest, RouteResponse, RouteResult, RoutingEngine
 from ..timeutil import interval_of
 from .batch import BatchExecutor
-from .cache import CacheStats, EstimateCache
+from .cache import CacheStats, EstimateCache, RouteCache
 from .requests import (
     SOURCE_BATCH_DEDUP,
     SOURCE_COMPUTED,
     SOURCE_DECOMPOSITION_CACHE,
     SOURCE_RESULT_CACHE,
+    SOURCE_ROUTE_CACHE,
     EstimateRequest,
     EstimateResponse,
 )
@@ -66,6 +74,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 #: Cache key: (path edge ids, alpha-interval index of the departure time, method).
 CacheKey = tuple[tuple[int, ...], int, str]
+
+#: Route-cache key: (source, target, alpha-interval index, budget, method,
+#: probability threshold, per-request search-limit overrides).
+RouteKey = tuple[int, int, int, float, str, float, int | None, int | None]
 
 
 @dataclass(frozen=True)
@@ -78,16 +90,19 @@ class InvalidationReport:
     result_keys: tuple[CacheKey, ...]
     #: Decomposition-cache keys that were dropped.
     decomposition_keys: tuple[CacheKey, ...]
+    #: Route-cache keys that were dropped (routes crossing a dirty edge).
+    route_keys: tuple[RouteKey, ...] = ()
 
     @property
     def n_invalidated(self) -> int:
-        return len(self.result_keys) + len(self.decomposition_keys)
+        return len(self.result_keys) + len(self.decomposition_keys) + len(self.route_keys)
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return (
             f"InvalidationReport(dirty_edges={len(self.dirty_edges)}, "
             f"results={len(self.result_keys)}, "
-            f"decompositions={len(self.decomposition_keys)})"
+            f"decompositions={len(self.decomposition_keys)}, "
+            f"routes={len(self.route_keys)})"
         )
 
 
@@ -133,8 +148,17 @@ class CostEstimationService:
         self._decomposition_cache: EstimateCache[CacheKey, PropagatedJoint] = EstimateCache(
             self.parameters.decomposition_cache_capacity
         )
+        self._route_cache: RouteCache[RouteKey, RouteResult] = RouteCache(
+            self.parameters.route_cache_capacity
+        )
+        #: Lazily built routing engine; estimates flow back through this
+        #: service, so a rebase is picked up without rebuilding the engine.
+        self._route_engine: RoutingEngine | None = None
+        self._route_engine_lock = threading.Lock()
         self._served = 0
         self._computed = 0
+        self._routes_served = 0
+        self._routes_computed = 0
 
     @classmethod
     def from_hybrid_graph(
@@ -169,8 +193,11 @@ class CostEstimationService:
         return {
             "served": self._served,
             "computed": self._computed,
+            "routes_served": self._routes_served,
+            "routes_computed": self._routes_computed,
             "result_cache": self._result_cache.stats(),
             "decomposition_cache": self._decomposition_cache.stats(),
+            "route_cache": self._route_cache.stats(),
         }
 
     def result_cache_stats(self) -> CacheStats:
@@ -179,11 +206,15 @@ class CostEstimationService:
     def decomposition_cache_stats(self) -> CacheStats:
         return self._decomposition_cache.stats()
 
+    def route_cache_stats(self) -> CacheStats:
+        return self._route_cache.stats()
+
     def clear_caches(self) -> None:
-        """Drop all cached results and propagated joints."""
+        """Drop all cached results, propagated joints, and routes."""
         self._bump_epoch()
         self._result_cache.clear()
         self._decomposition_cache.clear()
+        self._route_cache.clear()
 
     # ------------------------------------------------------------------ #
     # Invalidation (the write path's hook into the read path)
@@ -213,10 +244,16 @@ class CostEstimationService:
             dirty_edges=dirty,
             result_keys=tuple(self._result_cache.invalidate_edges(dirty)),
             decomposition_keys=tuple(self._decomposition_cache.invalidate_edges(dirty)),
+            route_keys=tuple(self._route_cache.invalidate_edges(dirty)),
         )
 
     def invalidate_where(self, predicate) -> InvalidationReport:
-        """Drop cached entries whose :data:`CacheKey` satisfies ``predicate``."""
+        """Drop cached entries whose :data:`CacheKey` satisfies ``predicate``.
+
+        Route-cache entries are keyed differently (by query, not by path)
+        and are untouched here; use :meth:`invalidate_edges`,
+        :meth:`clear_caches` or :meth:`rebase` to drop them.
+        """
         self._bump_epoch()
         return InvalidationReport(
             dirty_edges=frozenset(),
@@ -240,7 +277,9 @@ class CostEstimationService:
         is sound because the builder seeds its histogram RNG per
         (path, interval) -- a rebuilt graph assigns bit-identical
         distributions to every variable whose observations did not change.
-        Pass ``None`` to drop everything.
+        Pass ``None`` to drop everything.  A graph built on a *different*
+        road network always drops everything (edge ids are meaningless
+        across networks) and rebuilds the routing engine.
         """
         if hybrid_graph.parameters.alpha_minutes != self.alpha_minutes:
             raise ServiceError(
@@ -249,6 +288,7 @@ class CostEstimationService:
                 f"{hybrid_graph.parameters.alpha_minutes} min"
             )
         base = self._family.base
+        network_changed = hybrid_graph.network is not base.hybrid_graph.network
         self._family = _EstimatorFamily(
             PathCostEstimator(
                 hybrid_graph,
@@ -259,8 +299,22 @@ class CostEstimationService:
                 seed=base.seed,
             )
         )
-        if dirty_edges is None:
-            return self.invalidate_where(lambda _key: True)
+        if network_changed:
+            # A different road network invalidates the engine's free-flow
+            # bounds index; it is rebuilt on the next route query.  Reset
+            # *after* the family swap and under the engine lock, so a
+            # concurrent route query can never rebuild (and cache) an
+            # engine still bound to the old network.
+            with self._route_engine_lock:
+                self._route_engine = None
+        if dirty_edges is None or network_changed:
+            # Every cached entry -- estimates, decompositions and routes --
+            # is keyed/valued by edge ids of the network it was computed
+            # on; when the network itself changed, a dirty set cannot
+            # scope that staleness, so everything is dropped.
+            report = self.invalidate_where(lambda _key: True)
+            route_keys = tuple(self._route_cache.invalidate_values(lambda _route: True))
+            return replace(report, route_keys=route_keys)
         return self.invalidate_edges(dirty_edges)
 
     # ------------------------------------------------------------------ #
@@ -424,6 +478,128 @@ class CostEstimationService:
             for path in paths
         ]
         return [response.estimate for response in self.submit_batch(requests, max_workers=max_workers)]
+
+    # ------------------------------------------------------------------ #
+    # Stochastic routing (the Figure 18 workload as a service API)
+    # ------------------------------------------------------------------ #
+    def route_cache_key(self, request: RouteRequest) -> RouteKey:
+        """The route-cache key of a routing query.
+
+        Like the estimate caches, the departure time is bucketed into its
+        alpha-interval, so same-interval repeats of a route query are
+        served from cache.
+        """
+        method = request.resolved_method(self.default_method)
+        interval = interval_of(request.departure_time_s, self.alpha_minutes)
+        return (
+            request.source,
+            request.target,
+            interval.index,
+            request.budget_s,
+            method,
+            request.probability_threshold,
+            request.max_path_edges,
+            request.max_expansions,
+        )
+
+    def routing_engine(self) -> RoutingEngine:
+        """The service's routing engine (built on first use, then reused).
+
+        The engine estimates through this service, so its frontier batches
+        hit the result/decomposition caches and dedup automatically, and a
+        :meth:`rebase` is picked up without rebuilding the engine.  The
+        engine's :class:`~repro.roadnet.routing.ReverseBoundsIndex` (one
+        reverse Dijkstra per target) is shared across all route queries.
+        """
+        engine = self._route_engine
+        if engine is None:
+            with self._route_engine_lock:
+                engine = self._route_engine
+                if engine is None:
+                    engine = RoutingEngine(
+                        self.hybrid_graph.network,
+                        self,
+                        max_path_edges=self.parameters.route_max_path_edges,
+                        batch_size=self.parameters.route_batch_size,
+                        max_expansions=self.parameters.route_max_expansions,
+                    )
+                    self._route_engine = engine
+        return engine
+
+    def route(self, request: RouteRequest) -> RouteResponse:
+        """Serve one stochastic routing query, answering from cache when possible.
+
+        Cache misses run the batched best-first
+        :class:`~repro.routing.RoutingEngine` search; the finished
+        :class:`~repro.routing.RouteResult` lands in a bounded LRU route
+        cache that participates in the edge-dirty invalidation path, so
+        live GPS appends (:mod:`repro.ingest`) evict exactly the routes
+        crossing touched edges.
+        """
+        started = time.perf_counter()
+        method = request.resolved_method(self.default_method)
+        key = self.route_cache_key(request)
+        self._routes_served += 1
+        cached = self._route_cache.get(key)
+        if cached is not None:
+            return RouteResponse(
+                request=request,
+                result=cached,
+                method=method,
+                cache_hit=True,
+                source=SOURCE_ROUTE_CACHE,
+                latency_s=time.perf_counter() - started,
+            )
+        epoch = self._epoch
+        result = self.routing_engine().find_route(
+            request.source,
+            request.target,
+            request.departure_time_s,
+            request.budget_s,
+            method=method,
+            probability_threshold=request.probability_threshold,
+            max_path_edges=request.max_path_edges,
+            max_expansions=request.max_expansions,
+        )
+        self._route_cache.put(key, result, guard=lambda: self._epoch == epoch)
+        self._routes_computed += 1
+        return RouteResponse(
+            request=request,
+            result=result,
+            method=method,
+            cache_hit=False,
+            source=SOURCE_COMPUTED,
+            latency_s=time.perf_counter() - started,
+        )
+
+    def route_batch(self, requests: Iterable[RouteRequest]) -> list[RouteResponse]:
+        """Serve a batch of routing queries, in request order.
+
+        Requests collapsing onto the same route-cache key run the search
+        once (the first occurrence computes; later ones are cache hits).
+        Each search already batches its own estimation work through
+        :meth:`estimate_batch`, so the searches themselves run serially.
+        """
+        return [self.route(request) for request in requests]
+
+    def find_route(
+        self,
+        source: int,
+        target: int,
+        departure_time_s: float,
+        budget_s: float,
+        **kwargs,
+    ) -> RouteResult:
+        """Positional convenience over :meth:`route` (returns the bare result)."""
+        return self.route(
+            RouteRequest(
+                source=source,
+                target=target,
+                departure_time_s=departure_time_s,
+                budget_s=budget_s,
+                **kwargs,
+            )
+        ).result
 
     # ------------------------------------------------------------------ #
     # Warmup

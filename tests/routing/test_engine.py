@@ -1,0 +1,271 @@
+"""Tests for the batched best-first routing engine and the routing bugfixes."""
+
+import math
+
+import pytest
+
+from repro import (
+    CostEstimate,
+    CostEstimationService,
+    DFSStochasticRouter,
+    Path,
+    PathCostEstimator,
+    ReverseBoundsIndex,
+    RoadNetwork,
+    RoutingEngine,
+    RoutingError,
+    Histogram1D,
+)
+from repro.roadnet.routing import dijkstra, reverse_dijkstra
+from repro.routing.incremental import IncrementalCostEstimator
+
+
+class TestReverseBoundsIndex:
+    def test_matches_dijkstra_on_manually_reversed_network(self, small_network):
+        target = 27
+        reversed_network = RoadNetwork(name="manual-reverse")
+        for vertex in small_network.vertices():
+            reversed_network.add_vertex(vertex.vertex_id, vertex.location.x, vertex.location.y)
+        for edge in small_network.edges():
+            reversed_network.add_edge(
+                edge.target, edge.source, edge.length_m, edge.speed_limit_kmh, edge.category
+            )
+        expected, _ = dijkstra(reversed_network, target)
+        assert reverse_dijkstra(small_network, target) == expected
+
+    def test_bounds_are_cached_per_target(self, small_network):
+        index = ReverseBoundsIndex(small_network)
+        first = index.bounds_to(5)
+        second = index.bounds_to(5)
+        assert first is second
+        assert index.n_computes == 1
+        index.bounds_to(6)
+        assert index.n_computes == 2
+
+    def test_capacity_bound_evicts_lru(self, small_network):
+        index = ReverseBoundsIndex(small_network, max_targets=2)
+        index.bounds_to(1)
+        index.bounds_to(2)
+        index.bounds_to(3)  # evicts target 1
+        assert len(index) == 2
+        index.bounds_to(1)
+        assert index.n_computes == 4
+
+    def test_invalid_capacity(self, small_network):
+        with pytest.raises(RoutingError):
+            ReverseBoundsIndex(small_network, max_targets=0)
+
+
+class TestRouterBugfixes:
+    def test_second_query_does_no_reverse_rebuild(self, small_network, hybrid_graph):
+        """Regression: per-query reversed-network rebuilds (one Dijkstra per target now)."""
+        router = DFSStochasticRouter(
+            small_network, PathCostEstimator(hybrid_graph), max_path_edges=10, max_expansions=200
+        )
+        router.find_route(0, 18, 8 * 3600.0, budget_s=1200.0)
+        assert router.bounds_index.n_computes == 1
+        router.find_route(0, 18, 9 * 3600.0, budget_s=1800.0)
+        assert router.bounds_index.n_computes == 1  # same target: cached bounds
+        router.find_route(0, 27, 8 * 3600.0, budget_s=1200.0)
+        assert router.bounds_index.n_computes == 2  # new target: one more sweep
+
+    def test_truncated_flag_reports_exhausted_search(self, small_network, hybrid_graph):
+        """Regression: hitting max_expansions used to be indistinguishable from "no route"."""
+        router = DFSStochasticRouter(
+            small_network,
+            PathCostEstimator(hybrid_graph),
+            max_path_edges=18,
+            max_expansions=3,
+        )
+        result = router.find_route(0, 63, 8 * 3600.0, budget_s=3600.0)
+        assert result.truncated
+        reference = router.reference_find_route(0, 63, 8 * 3600.0, budget_s=3600.0)
+        assert reference.truncated
+
+    def test_search_limits_write_through_to_the_engine(self, small_network, hybrid_graph):
+        """Mutating the wrapper's limits must keep find_route and the reference in sync."""
+        router = DFSStochasticRouter(
+            small_network, PathCostEstimator(hybrid_graph), max_path_edges=10
+        )
+        router.probability_threshold = 0.25
+        router.max_path_edges = 12
+        router.max_expansions = 50
+        assert router.engine.probability_threshold == 0.25
+        assert router.engine.max_path_edges == 12
+        assert router.engine.max_expansions == 50
+        with pytest.raises(RoutingError):
+            router.probability_threshold = 1.5
+        with pytest.raises(RoutingError):
+            router.max_path_edges = 0
+
+    def test_exhaustive_search_is_not_truncated(self, small_network, hybrid_graph):
+        router = DFSStochasticRouter(
+            small_network,
+            PathCostEstimator(hybrid_graph),
+            max_path_edges=6,
+            max_expansions=100000,
+        )
+        result = router.find_route(0, 9, 8 * 3600.0, budget_s=3600.0)
+        assert result.found
+        assert not result.truncated
+
+
+class _UniformStubEstimator:
+    """Returns a uniform [low, low + width) histogram for every path."""
+
+    def __init__(self, low: float = 0.0, width: float = 2.0) -> None:
+        self.low = low
+        self.width = width
+
+    def estimate(self, path: Path, departure_time_s: float) -> CostEstimate:
+        histogram = Histogram1D.uniform(self.low, self.low + self.width)
+        return CostEstimate(
+            path=path,
+            departure_time_s=departure_time_s,
+            histogram=histogram,
+            method="stub",
+        )
+
+
+@pytest.fixture()
+def two_vertex_network():
+    network = RoadNetwork(name="two-vertex")
+    network.add_vertex(0, 0.0, 0.0)
+    network.add_vertex(1, 100.0, 0.0)
+    network.add_edge(0, 1, 100.0, 50.0)
+    return network
+
+
+class TestThresholdBoundary:
+    """Regression: a path whose probability exactly equals the threshold was rejected."""
+
+    def test_probability_equal_to_threshold_is_accepted(self, two_vertex_network):
+        # Uniform cost on [0, 2): P(cost <= 1.0) is exactly 0.5.
+        estimator = _UniformStubEstimator(low=0.0, width=2.0)
+        router = DFSStochasticRouter(
+            two_vertex_network, estimator, probability_threshold=0.5, use_incremental=False
+        )
+        result = router.find_route(0, 1, 0.0, budget_s=1.0)
+        assert result.found
+        assert result.probability == pytest.approx(0.5, abs=1e-12)
+        reference = router.reference_find_route(0, 1, 0.0, budget_s=1.0)
+        assert reference.found
+        assert reference.probability == pytest.approx(0.5, abs=1e-12)
+
+    def test_probability_below_threshold_is_rejected(self, two_vertex_network):
+        estimator = _UniformStubEstimator(low=0.0, width=2.0)
+        router = DFSStochasticRouter(
+            two_vertex_network, estimator, probability_threshold=0.6, use_incremental=False
+        )
+        assert not router.find_route(0, 1, 0.0, budget_s=1.0).found
+        assert not router.reference_find_route(0, 1, 0.0, budget_s=1.0).found
+
+    def test_infeasible_budget_is_answered_without_exhausting_expansions(
+        self, small_network, hybrid_graph
+    ):
+        """Zero-bound subtrees are pruned outright, so hopeless queries stay cheap."""
+        router = DFSStochasticRouter(
+            small_network, PathCostEstimator(hybrid_graph), max_path_edges=18, max_expansions=2000
+        )
+        result = router.find_route(0, 63, 8 * 3600.0, budget_s=1.0)
+        assert not result.found
+        assert not result.truncated
+        assert result.paths_evaluated < 100
+        reference = router.reference_find_route(0, 63, 8 * 3600.0, budget_s=1.0)
+        assert not reference.found
+        assert not reference.truncated
+        assert reference.paths_evaluated < 100
+
+    def test_zero_probability_route_is_never_found(self, two_vertex_network):
+        # The budget sits entirely below the support: P(cost <= budget) == 0.
+        estimator = _UniformStubEstimator(low=10.0, width=2.0)
+        router = DFSStochasticRouter(
+            two_vertex_network, estimator, probability_threshold=0.0, use_incremental=False
+        )
+        result = router.find_route(0, 1, 0.0, budget_s=1.0)
+        assert not result.found
+        assert result.probability == 0.0
+
+
+class TestIncrementalBugfixes:
+    def test_cache_is_bounded(self, hybrid_graph, busy_query):
+        """Regression: the memoisation cache grew without bound within a search."""
+        path, departure = busy_query
+        incremental = IncrementalCostEstimator(
+            PathCostEstimator(hybrid_graph), cache_capacity=2
+        )
+        for length in range(1, min(len(path), 6) + 1):
+            incremental.estimate(Path(path.edge_ids[:length]), departure)
+        assert incremental.cache_size() <= 2
+        assert incremental.cache_capacity() == 2
+
+    def test_invalid_capacity(self, hybrid_graph):
+        with pytest.raises(RoutingError):
+            IncrementalCostEstimator(PathCostEstimator(hybrid_graph), cache_capacity=0)
+
+    def test_extension_carries_entropy_and_timings(self, hybrid_graph, busy_query):
+        """Regression: extensions stamped entropy=nan and zeroed timings."""
+        path, departure = busy_query
+        incremental = IncrementalCostEstimator(PathCostEstimator(hybrid_graph), refresh_every=10)
+        prefix = incremental.estimate(Path(path.edge_ids[:3]), departure)
+        extended = incremental.estimate(Path(path.edge_ids[:4]), departure)
+        assert extended.method.endswith("+inc")
+        assert not math.isnan(extended.entropy)
+        assert extended.entropy == prefix.entropy
+        assert "inc" in extended.timings_s
+        assert extended.timings_s["total"] >= prefix.timings_s["total"]
+
+
+class TestRoutingEngine:
+    def test_engine_finds_valid_route(self, small_network, hybrid_graph):
+        engine = RoutingEngine(
+            small_network, PathCostEstimator(hybrid_graph), max_path_edges=18, max_expansions=800
+        )
+        result = engine.find_route(0, 27, 8 * 3600.0, budget_s=3600.0)
+        assert result.found
+        result.path.validate(small_network)
+        assert small_network.edge(result.path.edge_ids[-1]).target == 27
+        assert 0.0 < result.probability <= 1.0
+        assert result.paths_evaluated > 0
+
+    def test_engine_batches_through_the_service(self, small_network, hybrid_graph):
+        service = CostEstimationService(PathCostEstimator(hybrid_graph))
+        engine = RoutingEngine(
+            small_network, service, max_path_edges=10, max_expansions=300, batch_size=8
+        )
+        result = engine.find_route(0, 18, 8 * 3600.0, budget_s=3600.0)
+        assert result.found
+        stats = service.stats()
+        # The whole search went through the service's batch pipeline.
+        assert stats["served"] >= result.paths_evaluated
+
+    def test_unreachable_target_gives_no_route(self, hybrid_graph):
+        network = RoadNetwork(name="disconnected")
+        network.add_vertex(0, 0.0, 0.0)
+        network.add_vertex(1, 100.0, 0.0)
+        network.add_vertex(2, 200.0, 0.0)
+        network.add_edge(0, 1, 100.0, 50.0)
+        engine = RoutingEngine(network, _UniformStubEstimator(), use_incremental=False)
+        result = engine.find_route(0, 2, 0.0, budget_s=100.0)
+        assert not result.found
+        assert not result.truncated
+        assert result.paths_evaluated == 0
+
+    def test_invalid_arguments(self, small_network, hybrid_graph):
+        engine = RoutingEngine(small_network, PathCostEstimator(hybrid_graph))
+        with pytest.raises(RoutingError):
+            engine.find_route(3, 3, 0.0, 100.0)
+        with pytest.raises(RoutingError):
+            engine.find_route(0, 5, 0.0, -10.0)
+        with pytest.raises(RoutingError):
+            RoutingEngine(small_network, PathCostEstimator(hybrid_graph), batch_size=0)
+        with pytest.raises(RoutingError):
+            RoutingEngine(small_network, PathCostEstimator(hybrid_graph), max_path_edges=0)
+
+    def test_larger_budget_never_lowers_probability(self, small_network, hybrid_graph):
+        engine = RoutingEngine(
+            small_network, PathCostEstimator(hybrid_graph), max_path_edges=18, max_expansions=800
+        )
+        small = engine.find_route(0, 18, 8 * 3600.0, budget_s=200.0)
+        large = engine.find_route(0, 18, 8 * 3600.0, budget_s=2000.0)
+        assert large.probability >= small.probability
