@@ -2,20 +2,62 @@
 
 Besides the rendered text tables, benchmarks can persist structured JSON
 results via :func:`write_result_json`; every JSON payload is stamped with
-the numpy / BLAS / platform environment (:func:`numpy_environment`) so perf
-trajectories recorded on different machines or BLAS builds stay comparable.
+the numpy / BLAS / platform environment (:func:`numpy_environment`) *and*
+the code version (:func:`code_version`: git commit, dirty flag, ``repro``
+version), so the committed ``benchmarks/results/*.json`` trajectory stays
+attributable to the tree that produced each number.
 """
 
 from __future__ import annotations
 
 import json
 import platform
+import subprocess
 import sys
 from pathlib import Path
 
 import numpy as np
 
 RESULTS_DIR = Path(__file__).parent / "results"
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _git(*args: str) -> str | None:
+    try:
+        completed = subprocess.run(
+            ["git", *args],
+            cwd=_REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if completed.returncode != 0:
+        return None
+    return completed.stdout.strip()
+
+
+def code_version() -> dict:
+    """The code identity of a benchmark run: git commit, dirty flag, version.
+
+    The dirty flag ignores ``benchmarks/results/``: a benchmark rewrites
+    its own result files before this stamp is computed, which must not
+    mark an otherwise-pristine checkout dirty.
+    """
+    commit = _git("rev-parse", "HEAD")
+    status = _git("status", "--porcelain", "--", ".", ":(exclude)benchmarks/results")
+    try:
+        import repro
+
+        repro_version = repro.__version__
+    except Exception:  # pragma: no cover - repro not importable standalone
+        repro_version = "unknown"
+    return {
+        "git_commit": commit or "unknown",
+        "git_dirty": bool(status) if status is not None else None,
+        "repro_version": repro_version,
+    }
 
 
 def numpy_environment() -> dict:
@@ -48,10 +90,10 @@ def write_result(name: str, text: str) -> None:
 
 
 def write_result_json(name: str, payload: dict) -> None:
-    """Persist structured benchmark results with the environment stamped in."""
+    """Persist structured benchmark results with environment + code stamped in."""
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     path = RESULTS_DIR / f"{name}.json"
-    document = {"environment": numpy_environment(), **payload}
+    document = {"environment": numpy_environment(), "code": code_version(), **payload}
     path.write_text(json.dumps(document, indent=2, sort_keys=False) + "\n")
     print(f"[json written to {path}]")
 

@@ -1,0 +1,262 @@
+"""Snapshot boot: cold hybrid-graph build vs. columnar snapshot restore.
+
+Measures the persistence layer (:mod:`repro.persist`) on a synthetic
+city:
+
+* **cold build** -- instantiate the hybrid graph from the trajectory store
+  (the per-variable cross-validated histogram pipeline every process pays
+  without persistence);
+* **save** -- write the full columnar snapshot (graph + store + warm
+  service cache), reporting the on-disk payload;
+* **restore** -- boot a service from the snapshot
+  (:meth:`CostEstimationService.from_snapshot`), memory-mapped and eager;
+* **fresh process** -- a spawned worker restores the same snapshot and
+  serves the workload; its histograms are compared against the parent's.
+
+Acceptance (asserted):
+
+* snapshot restore is >= 10x faster than the cold hybrid-graph build;
+* restored estimates are bit-identical (<= 1e-9 checked, 0.0 expected) to
+  cold-build estimates, in-process and from the fresh worker process;
+* the warm cache entries survive the round trip (first repeat queries of
+  the restored service are cache hits).
+
+Run ``PYTHONPATH=src python benchmarks/bench_snapshot_boot.py`` (add
+``--smoke`` for the CI configuration).
+"""
+
+from __future__ import annotations
+
+import argparse
+import multiprocessing
+import sys
+import time
+from pathlib import Path
+from tempfile import TemporaryDirectory
+
+import numpy as np
+
+from repro import (
+    CostEstimationService,
+    EstimateRequest,
+    EstimatorParameters,
+    HybridGraphBuilder,
+    SimulationParameters,
+    TrafficSimulator,
+    TrajectoryStore,
+    grid_network,
+    snapshot_info,
+)
+
+from _bench_utils import write_result, write_result_json
+
+PRESETS = {
+    "smoke": dict(grid=5, n_trajectories=250, beta=10, max_cardinality=4, queries=20),
+    "default": dict(grid=8, n_trajectories=1000, beta=20, max_cardinality=5, queries=40),
+}
+
+
+def build_dataset(preset: dict):
+    network = grid_network(
+        preset["grid"], preset["grid"], block_length_m=220.0, arterial_every=3, name="bench-city"
+    )
+    simulator = TrafficSimulator(
+        network,
+        SimulationParameters(
+            n_trajectories=preset["n_trajectories"], popular_route_count=10, seed=7
+        ),
+    )
+    store = TrajectoryStore(simulator.generate())
+    return network, simulator, store
+
+
+def build_workload(simulator, alpha_minutes: int, max_queries: int):
+    queries, seen = [], set()
+    for route in simulator.popular_routes:
+        departure = route.busy_hour * 3600.0
+        for length in range(2, len(route.path) + 1):
+            path = route.path.prefix(length)
+            key = (path.edge_ids, int(departure // (alpha_minutes * 60.0)))
+            if key not in seen:
+                seen.add(key)
+                queries.append((path.edge_ids, departure))
+    return queries[:max_queries]
+
+
+def serve_workload(service, queries):
+    """Histograms for the workload as raw (lows, highs, probs) triples."""
+    from repro import Path as RoadPath
+
+    requests = [
+        EstimateRequest(RoadPath(edge_ids), departure) for edge_ids, departure in queries
+    ]
+    responses = service.submit_batch(requests)
+    return [
+        (
+            np.asarray(r.histogram.lows),
+            np.asarray(r.histogram.highs),
+            np.asarray(r.histogram.probabilities),
+        )
+        for r in responses
+    ]
+
+
+def _worker_restore_and_serve(snapshot_dir, queries, connection):
+    """Fresh-process warm boot: restore the snapshot, serve, ship results back."""
+    try:
+        started = time.perf_counter()
+        service = CostEstimationService.from_snapshot(snapshot_dir)
+        boot_s = time.perf_counter() - started
+        histograms = serve_workload(service, queries)
+        hits = service.result_cache_stats().hits
+        connection.send(("ok", boot_s, hits, histograms))
+    except Exception as error:  # pragma: no cover - shipped to the parent
+        connection.send(("error", repr(error), 0, []))
+    finally:
+        connection.close()
+
+
+def max_histogram_difference(ours, theirs) -> float:
+    worst = 0.0
+    for (l1, h1, p1), (l2, h2, p2) in zip(ours, theirs):
+        if l1.shape != l2.shape:
+            return float("inf")
+        worst = max(
+            worst,
+            float(np.max(np.abs(l1 - l2), initial=0.0)),
+            float(np.max(np.abs(h1 - h2), initial=0.0)),
+            float(np.max(np.abs(p1 - p2), initial=0.0)),
+        )
+    return worst
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="tiny CI configuration")
+    parser.add_argument("--workers", type=int, default=2, help="fresh-process restores")
+    args = parser.parse_args(argv)
+    preset_name = "smoke" if args.smoke else "default"
+    preset = PRESETS[preset_name]
+
+    network, simulator, store = build_dataset(preset)
+    parameters = EstimatorParameters(beta=preset["beta"])
+
+    # -- cold build: the full instantiation pipeline. ------------------- #
+    started = time.perf_counter()
+    graph = HybridGraphBuilder(
+        network, parameters, max_cardinality=preset["max_cardinality"]
+    ).build(store)
+    cold_build_s = time.perf_counter() - started
+
+    service = CostEstimationService.from_hybrid_graph(graph)
+    queries = build_workload(simulator, parameters.alpha_minutes, preset["queries"])
+    if not queries:
+        print("no queries in workload", file=sys.stderr)
+        return 1
+    cold_histograms = serve_workload(service, queries)
+
+    with TemporaryDirectory(prefix="repro-snapshot-") as tmp:
+        snapshot_dir = str(Path(tmp) / "snapshot")
+
+        # -- save. ------------------------------------------------------ #
+        started = time.perf_counter()
+        service.save_snapshot(snapshot_dir, store=store)
+        save_s = time.perf_counter() - started
+        manifest = snapshot_info(snapshot_dir)
+        snapshot_bytes = sum(
+            (Path(snapshot_dir) / filename).stat().st_size
+            for filename in manifest["arrays"].values()
+        )
+
+        # -- restore (mmap, then eager for comparison). ----------------- #
+        started = time.perf_counter()
+        restored = CostEstimationService.from_snapshot(snapshot_dir)
+        restore_s = time.perf_counter() - started
+
+        from repro import PersistParameters
+
+        started = time.perf_counter()
+        CostEstimationService.from_snapshot(
+            snapshot_dir, persist_parameters=PersistParameters(mmap=False)
+        )
+        restore_eager_s = time.perf_counter() - started
+
+        restored_histograms = serve_workload(restored, queries)
+        in_process_diff = max_histogram_difference(cold_histograms, restored_histograms)
+        warm_hits = restored.result_cache_stats().hits
+
+        # -- fresh-process warm boots. ---------------------------------- #
+        context = multiprocessing.get_context("spawn")
+        worker_boot_s, worker_diffs = [], []
+        for _ in range(max(1, args.workers)):
+            parent_end, child_end = context.Pipe()
+            process = context.Process(
+                target=_worker_restore_and_serve,
+                args=(snapshot_dir, queries, child_end),
+            )
+            process.start()
+            status, boot_or_error, hits, histograms = parent_end.recv()
+            process.join(timeout=60)
+            if status != "ok":
+                print(f"fresh-process restore failed: {boot_or_error}", file=sys.stderr)
+                return 1
+            worker_boot_s.append(boot_or_error)
+            worker_diffs.append(max_histogram_difference(cold_histograms, histograms))
+            assert hits > 0, "fresh process served nothing from the imported warm cache"
+
+    # -- acceptance. ---------------------------------------------------- #
+    speedup = cold_build_s / restore_s
+    assert speedup >= 10.0, (
+        f"snapshot restore only {speedup:.1f}x faster than cold build (need >= 10x)"
+    )
+    assert in_process_diff <= 1e-9, f"restored estimates diverged by {in_process_diff}"
+    worst_worker_diff = max(worker_diffs)
+    assert worst_worker_diff <= 1e-9, (
+        f"fresh-process estimates diverged by {worst_worker_diff}"
+    )
+
+    n_variables = graph.num_variables()
+    lines = [
+        f"snapshot boot ({preset_name}: {preset['grid']}x{preset['grid']} grid, "
+        f"{len(store)} trajectories, {n_variables} variables, {len(queries)} queries)",
+        "",
+        f"cold hybrid-graph build : {cold_build_s * 1e3:10.1f} ms",
+        f"snapshot save           : {save_s * 1e3:10.1f} ms "
+        f"({snapshot_bytes / 1024:.0f} KiB on disk, "
+        f"graph arrays {graph.array_memory_bytes() / 1024:.0f} KiB)",
+        f"snapshot restore (mmap) : {restore_s * 1e3:10.1f} ms",
+        f"snapshot restore (eager): {restore_eager_s * 1e3:10.1f} ms",
+        f"restore speedup         : {speedup:10.1f} x  (acceptance: >= 10x)",
+        f"fresh-process boots     : "
+        + ", ".join(f"{seconds * 1e3:.1f} ms" for seconds in worker_boot_s),
+        "",
+        f"restored vs cold estimates, in-process : max |diff| = {in_process_diff:.3g}",
+        f"restored vs cold estimates, fresh procs: max |diff| = {worst_worker_diff:.3g}",
+        f"warm cache hits after restore          : {warm_hits}/{len(queries)}",
+    ]
+    write_result("snapshot_boot", "\n".join(lines))
+    write_result_json(
+        "snapshot_boot",
+        {
+            "preset": preset_name,
+            "n_trajectories": len(store),
+            "n_variables": n_variables,
+            "n_queries": len(queries),
+            "cold_build_s": cold_build_s,
+            "save_s": save_s,
+            "restore_mmap_s": restore_s,
+            "restore_eager_s": restore_eager_s,
+            "restore_speedup": speedup,
+            "snapshot_bytes": snapshot_bytes,
+            "graph_array_bytes": graph.array_memory_bytes(),
+            "worker_boot_s": worker_boot_s,
+            "in_process_max_diff": in_process_diff,
+            "fresh_process_max_diff": worst_worker_diff,
+            "warm_cache_hits": warm_hits,
+        },
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -283,6 +283,58 @@ class IngestParameters:
             )
 
 
+@dataclass(frozen=True)
+class PersistParameters:
+    """Parameters for the snapshot persistence layer (:mod:`repro.persist`).
+
+    Attributes
+    ----------
+    include_caches:
+        Export the service's warm result-cache entries into full snapshots
+        so a restored process boots with a hot cache.  Delta snapshots
+        never carry cache entries (the base snapshot's entries for clean
+        paths stay valid; entries on dirty paths are dropped on restore).
+    max_cache_entries:
+        Cap on exported cache entries (most-recently-used first); ``None``
+        exports everything the bounded cache holds.
+    mmap:
+        Load snapshot arrays with ``numpy.load(..., mmap_mode="r")`` so
+        restored histograms are zero-copy views into the snapshot files
+        and multiple worker processes restoring the same snapshot share
+        the page cache.
+    auto_snapshot_trajectories:
+        When the ingest pipeline is constructed with a ``persist_dir``,
+        automatically write a snapshot after this many accepted
+        trajectories.  ``0`` (the default) snapshots only on explicit
+        :meth:`~repro.ingest.TrajectoryIngestPipeline.save_snapshot` calls.
+    compact_every_deltas:
+        After this many consecutive delta snapshots, the next snapshot is
+        written as a full one (compaction), bounding restore-chain length.
+        ``0`` never auto-compacts.
+    """
+
+    include_caches: bool = True
+    max_cache_entries: int | None = 4096
+    mmap: bool = True
+    auto_snapshot_trajectories: int = 0
+    compact_every_deltas: int = 8
+
+    def __post_init__(self) -> None:
+        if self.max_cache_entries is not None and self.max_cache_entries < 1:
+            raise ConfigurationError(
+                f"max_cache_entries must be >= 1 or None, got {self.max_cache_entries}"
+            )
+        if self.auto_snapshot_trajectories < 0:
+            raise ConfigurationError(
+                "auto_snapshot_trajectories must be >= 0, got "
+                f"{self.auto_snapshot_trajectories}"
+            )
+        if self.compact_every_deltas < 0:
+            raise ConfigurationError(
+                f"compact_every_deltas must be >= 0, got {self.compact_every_deltas}"
+            )
+
+
 def _valid_method_name(method: str) -> bool:
     """True for the method names the service understands: OD, OD-<k>, RD."""
     if method in ("OD", "RD"):
@@ -368,6 +420,7 @@ class ExperimentParameters:
 
 
 DEFAULT_ESTIMATOR_PARAMETERS = EstimatorParameters()
+DEFAULT_PERSIST_PARAMETERS = PersistParameters()
 DEFAULT_SERVICE_PARAMETERS = ServiceParameters()
 DEFAULT_SIMULATION_PARAMETERS = SimulationParameters()
 DEFAULT_EXPERIMENT_PARAMETERS = ExperimentParameters()

@@ -54,6 +54,34 @@ class HybridGraph:
         self._variables[key] = variable
         self._by_first_edge[variable.path.edge_ids[0]].append(variable)
 
+    def discard_variables_touching(self, edge_ids) -> list[tuple[tuple[int, ...], int]]:
+        """Remove every instantiated variable whose path intersects ``edge_ids``.
+
+        Returns the removed ``(path edge ids, interval index)`` keys.  Used
+        when applying a delta snapshot: the delta re-supplies the current
+        variables for every path touching its dirty-edge set, so the stale
+        base-snapshot versions are dropped first.  Speed-limit fallbacks
+        are untouched (they derive from edge attributes, not trajectories).
+        """
+        dirty = frozenset(edge_ids)
+        if not dirty:
+            return []
+        doomed = [key for key in self._variables if not dirty.isdisjoint(key[0])]
+        for key in doomed:
+            del self._variables[key]
+        for first_edge in {key[0][0] for key in doomed}:
+            survivors = [
+                variable
+                for variable in self._by_first_edge.get(first_edge, [])
+                if self._variables.get((variable.path.edge_ids, variable.interval.index))
+                is variable
+            ]
+            if survivors:
+                self._by_first_edge[first_edge] = survivors
+            else:
+                self._by_first_edge.pop(first_edge, None)
+        return doomed
+
     # ------------------------------------------------------------------ #
     # The path weight function W_P
     # ------------------------------------------------------------------ #
@@ -155,16 +183,51 @@ class HybridGraph:
             covered.update(edge_ids)
         return covered
 
+    def fallback_keys(self) -> list[tuple[int, int]]:
+        """The ``(edge id, interval index)`` keys of cached speed-limit fallbacks.
+
+        Fallback distributions are deterministic functions of the edge's
+        attributes, so the persistence layer stores only these keys and
+        re-derives the distributions on restore.
+        """
+        return sorted(self._fallback_cache.keys())
+
     def storage_size(self, include_fallbacks: bool = True) -> int:
-        """Total number of scalars stored by all instantiated variables."""
+        """Total number of scalars stored by all instantiated variables.
+
+        This is the paper's Figure-12 accounting (shared bucket boundaries
+        counted once); the true array-backed footprint is
+        :meth:`array_memory_bytes`.
+        """
         total = sum(variable.storage_size() for variable in self._variables.values())
         if include_fallbacks:
             total += sum(variable.storage_size() for variable in self._fallback_cache.values())
         return total
 
     def memory_usage_bytes(self, include_fallbacks: bool = True) -> int:
-        """Approximate memory footprint of the weight function ``W_P`` (Figure 12)."""
+        """Approximate memory footprint of the weight function ``W_P`` (Figure 12).
+
+        A scalar-count *estimate* (``storage_size * 8``) kept for
+        comparability with the paper's Figure 12; the measured footprint of
+        the backing arrays -- which is also what a columnar snapshot writes
+        to disk -- is :meth:`array_memory_bytes`.
+        """
         return self.storage_size(include_fallbacks) * _BYTES_PER_SCALAR
+
+    def array_memory_bytes(self, include_fallbacks: bool = True) -> int:
+        """True array-backed footprint of ``W_P`` in bytes (``ndarray.nbytes``).
+
+        Sums the actual backing arrays of every instantiated variable
+        (bucket bounds and probabilities for rank-one histograms;
+        boundaries, sparse cell indices and probabilities for joint
+        histograms).  A full columnar snapshot's variable payload matches
+        this number up to per-array metadata (offsets, interval indices,
+        ``.npy`` headers).
+        """
+        total = sum(variable.nbytes for variable in self._variables.values())
+        if include_fallbacks:
+            total += sum(variable.nbytes for variable in self._fallback_cache.values())
+        return total
 
     def max_rank(self) -> int:
         """The largest rank among instantiated variables (0 when empty)."""

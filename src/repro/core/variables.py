@@ -118,6 +118,11 @@ class InstantiatedVariable:
         """Number of scalars needed to store the variable's distribution."""
         return self.distribution.storage_size()
 
+    @property
+    def nbytes(self) -> int:
+        """Actual bytes of the distribution's backing arrays (true footprint)."""
+        return self.distribution.nbytes
+
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return (
             f"InstantiatedVariable({self.path!r}, {self.interval!r}, rank={self.rank}, "

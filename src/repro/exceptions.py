@@ -54,3 +54,8 @@ class IngestError(ReproError):
 
 class ConfigurationError(ReproError):
     """Raised for invalid parameter values in configuration objects."""
+
+
+class PersistError(ReproError):
+    """Raised by the snapshot persistence layer for unreadable, incompatible,
+    or inconsistent snapshots (wrong format version, broken delta chains)."""

@@ -156,6 +156,31 @@ class MultiHistogram:
         return cls(dims, boundaries, nonzero, probs)
 
     @classmethod
+    def _adopt_cells(
+        cls,
+        dims: Sequence[int],
+        boundaries: Sequence[np.ndarray],
+        cell_indices: np.ndarray,
+        cell_probabilities: np.ndarray,
+    ) -> "MultiHistogram":
+        """Adopt already-valid sparse cells bit-exactly (snapshot restore path).
+
+        Skips validation, deduplication and renormalisation: the
+        persistence layer stores the exact deduplicated cells of a live
+        histogram, and a save/restore round trip must not perturb a single
+        bit.  Contiguous ``float64``/``int64`` inputs (memory-mapped
+        snapshot slices included) are adopted without copying.
+        """
+        self = object.__new__(cls)
+        self._dims = tuple(int(d) for d in dims)
+        self._boundaries = tuple(
+            np.ascontiguousarray(edges, dtype=float) for edges in boundaries
+        )
+        self._indices = np.ascontiguousarray(cell_indices, dtype=np.int64)
+        self._probs = np.ascontiguousarray(cell_probabilities, dtype=float)
+        return self
+
+    @classmethod
     def from_univariate(cls, dim: int, histogram: Histogram1D) -> "MultiHistogram":
         """Wrap a 1-D histogram as a single-dimension joint histogram.
 
@@ -260,6 +285,21 @@ class MultiHistogram:
         """Scalars needed to store the histogram (boundaries + occupied cells)."""
         n_boundaries = sum(edges.size for edges in self._boundaries)
         return n_boundaries + (self.n_dims + 1) * self.n_hyper_buckets()
+
+    @property
+    def nbytes(self) -> int:
+        """Actual bytes of the backing arrays (boundaries, indices, probabilities).
+
+        The true array footprint -- and the columnar snapshot payload --
+        as opposed to the scalar-count accounting of :meth:`storage_size`
+        (cell indices are ``int64``, so both happen to weigh 8 bytes per
+        scalar, but the boundary bookkeeping differs).
+        """
+        return int(
+            sum(edges.nbytes for edges in self._boundaries)
+            + self._indices.nbytes
+            + self._probs.nbytes
+        )
 
     def entropy(self) -> float:
         """Differential entropy (nats) under the uniform-within-bucket assumption."""

@@ -174,6 +174,27 @@ class Histogram1D:
         return self
 
     @classmethod
+    def _adopt_arrays(
+        cls, lows: np.ndarray, highs: np.ndarray, probs: np.ndarray
+    ) -> "Histogram1D":
+        """Adopt already-valid arrays bit-exactly (the snapshot restore path).
+
+        Unlike :meth:`_from_trusted_arrays`, probabilities are **not**
+        renormalised: the persistence layer stores the exact in-memory
+        values, so a save/restore round trip must not perturb a single
+        bit.  The arrays are adopted as-is when already contiguous
+        ``float64`` -- memory-mapped snapshot slices therefore stay
+        zero-copy views into the snapshot file.
+        """
+        self = object.__new__(cls)
+        self._lows = np.ascontiguousarray(lows, dtype=float)
+        self._highs = np.ascontiguousarray(highs, dtype=float)
+        self._probs = np.ascontiguousarray(probs, dtype=float)
+        self._cum = np.cumsum(self._probs)
+        self._bucket_cache = None
+        return self
+
+    @classmethod
     def from_boundaries(cls, boundaries: Sequence[float], probabilities: Sequence[float]) -> "Histogram1D":
         """Build from consecutive boundaries and per-bucket probabilities."""
         if len(boundaries) != len(probabilities) + 1:
@@ -294,6 +315,17 @@ class Histogram1D:
         ``n_buckets + 1``; used by the space-saving experiment (Fig 11c).
         """
         return (self.n_buckets + 1) + self.n_buckets
+
+    @property
+    def nbytes(self) -> int:
+        """Actual bytes of the backing arrays (lows, highs, probabilities).
+
+        This is both the resident array footprint (modulo the derived
+        cumulative-probability cache) and the payload a columnar snapshot
+        writes to disk; contrast with the scalar-count accounting of
+        :meth:`storage_size` used by the paper's Figure 12.
+        """
+        return int(self._lows.nbytes + self._highs.nbytes + self._probs.nbytes)
 
     # ------------------------------------------------------------------ #
     # Probability queries

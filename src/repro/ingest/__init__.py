@@ -31,6 +31,7 @@ from .results import (
     IngestResult,
     IngestStats,
     RefreshReport,
+    SnapshotReport,
 )
 
 __all__ = [
@@ -43,6 +44,7 @@ __all__ = [
     "REASON_TOO_FEW_RECORDS",
     "REASON_UNMATCHABLE",
     "RefreshReport",
+    "SnapshotReport",
     "TrajectoryIngestPipeline",
     "TrajectorySnapshot",
     "normalize_gps_records",

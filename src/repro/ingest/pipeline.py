@@ -34,9 +34,10 @@ import queue
 import threading
 import time
 from collections import Counter, deque
+from pathlib import Path as FSPath
 from typing import TYPE_CHECKING, Callable, Iterable
 
-from ..config import IngestParameters
+from ..config import IngestParameters, PersistParameters
 from ..exceptions import IngestError, MapMatchingError, ReproError, TrajectoryError
 from ..roadnet.path import Path
 from ..service.requests import EstimateRequest
@@ -53,6 +54,7 @@ from .results import (
     IngestResult,
     IngestStats,
     RefreshReport,
+    SnapshotReport,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -98,6 +100,14 @@ class TrajectoryIngestPipeline:
     parameters:
         :class:`~repro.config.IngestParameters`; defaults apply when
         ``None``.
+    persist_dir:
+        Directory for epoch-tagged snapshots (:mod:`repro.persist`).
+        Required only for auto-named :meth:`save_snapshot` calls and the
+        ``PersistParameters.auto_snapshot_trajectories`` periodic
+        snapshots; an explicit directory per call works without it.
+    persist_parameters:
+        :class:`~repro.config.PersistParameters`; defaults apply when
+        ``None``.
     """
 
     def __init__(
@@ -107,6 +117,8 @@ class TrajectoryIngestPipeline:
         service: "CostEstimationService | None" = None,
         builder_factory: "Callable[[], HybridGraphBuilder] | None" = None,
         parameters: IngestParameters | None = None,
+        persist_dir: "str | FSPath | None" = None,
+        persist_parameters: PersistParameters | None = None,
     ) -> None:
         if not isinstance(store, MutableTrajectoryStore):
             raise IngestError(
@@ -136,6 +148,14 @@ class TrajectoryIngestPipeline:
         self._invalidated_routes = 0
         self._rewarmed = 0
         self._refreshes = 0
+        # Snapshot persistence state (guarded by the commit lock).
+        self.persist_parameters = persist_parameters or PersistParameters()
+        self._persist_dir = None if persist_dir is None else FSPath(persist_dir)
+        self._dirty_since_snapshot: set[int] = set()
+        self._since_snapshot = 0
+        self._last_snapshot_path: FSPath | None = None
+        self._deltas_since_full = 0
+        self._snapshots = 0
 
     # ------------------------------------------------------------------ #
     # Synchronous ingestion
@@ -335,6 +355,130 @@ class TrajectoryIngestPipeline:
         )
 
     # ------------------------------------------------------------------ #
+    # Snapshot persistence: epoch-tagged full / delta snapshots
+    # ------------------------------------------------------------------ #
+    def save_snapshot(self, directory=None, full: bool = False) -> SnapshotReport:
+        """Persist the pipeline's state as an epoch-tagged snapshot.
+
+        The first snapshot (and any ``full=True`` call) writes a **full**
+        snapshot: hybrid graph, the whole store, and the service's warm
+        cache entries.  Later calls write **delta** snapshots against the
+        previous one, containing only the variables whose path intersects
+        the dirty-edge set accumulated since that snapshot -- the same
+        per-append sets that drive targeted cache invalidation -- plus the
+        appended store segment.  Every
+        ``PersistParameters.compact_every_deltas`` deltas the chain is
+        compacted by writing a full snapshot instead.
+
+        ``directory`` defaults to ``<persist_dir>/snapshot-<epoch>``.  For
+        delta-restore equality with a cold rebuild, call :meth:`refresh`
+        first (a delta persists the graph *as served*, which may lag the
+        store between refreshes).
+        """
+        with self._lock:
+            return self._save_snapshot_locked(directory, full)
+
+    def _save_snapshot_locked(self, directory, full: bool) -> SnapshotReport:
+        from ..persist.delta import write_delta_snapshot
+        from ..persist.writer import write_snapshot
+
+        if self.service is None:
+            raise IngestError(
+                "save_snapshot() needs a service: the hybrid graph to persist "
+                "lives behind it"
+            )
+        started = time.perf_counter()
+        snapshot = self.store.snapshot()
+        graph = self.service.hybrid_graph
+        persist = self.persist_parameters
+        if directory is None:
+            if self._persist_dir is None:
+                raise IngestError(
+                    "save_snapshot() without a directory needs the pipeline to be "
+                    "constructed with persist_dir"
+                )
+            directory = self._persist_dir / f"snapshot-{snapshot.version:08d}"
+        directory = FSPath(directory)
+        if (
+            self._last_snapshot_path is not None
+            and directory.resolve() == self._last_snapshot_path.resolve()
+        ):
+            # Nothing new to persist (e.g. a periodic snapshot firing during
+            # a quiet ingest window resolves to the same epoch-named
+            # directory).  Writing a delta *into its own base* would destroy
+            # the snapshot; report the existing one instead.
+            from ..persist.format import read_manifest
+
+            manifest = read_manifest(directory)
+            return SnapshotReport(
+                path=str(directory),
+                kind=manifest["kind"],
+                epoch=int(manifest["epoch"]),
+                n_trajectories=len(snapshot),
+                n_variables_written=0,
+                dirty_edges=frozenset(),
+                duration_s=time.perf_counter() - started,
+            )
+
+        write_delta = (
+            not full
+            and self._last_snapshot_path is not None
+            and not (
+                persist.compact_every_deltas
+                and self._deltas_since_full >= persist.compact_every_deltas
+            )
+        )
+        dirty = frozenset(self._dirty_since_snapshot)
+        if write_delta:
+            manifest = write_delta_snapshot(
+                directory,
+                base=self._last_snapshot_path,
+                graph=graph,
+                store=snapshot,
+                dirty_edges=dirty,
+                epoch=snapshot.version,
+                service_info=self.service._snapshot_service_info(),
+                parameters=persist,
+            )
+            self._deltas_since_full += 1
+        else:
+            cache_entries = (
+                self.service.export_cache_entries(limit=persist.max_cache_entries)
+                if persist.include_caches
+                else ()
+            )
+            manifest = write_snapshot(
+                directory,
+                graph=graph,
+                store=snapshot,
+                cache_entries=cache_entries,
+                epoch=snapshot.version,
+                service_info=self.service._snapshot_service_info(),
+                parameters=persist,
+            )
+            self._deltas_since_full = 0
+        self._last_snapshot_path = directory
+        # Edges dirtied since the last *refresh* are not yet reflected in
+        # the served graph this snapshot persisted: a later refresh will
+        # change their variables, so they must stay dirty for the next
+        # delta.  Only edges the graph has absorbed are truly settled.
+        self._dirty_since_snapshot = set(self._pending_dirty)
+        self._since_snapshot = 0
+        self._snapshots += 1
+        graph_meta = manifest.get("graph") or {}
+        return SnapshotReport(
+            path=str(directory),
+            kind=manifest["kind"],
+            epoch=int(manifest["epoch"]),
+            n_trajectories=len(snapshot),
+            n_variables_written=int(
+                graph_meta.get("n_univariate", 0) + graph_meta.get("n_multivariate", 0)
+            ),
+            dirty_edges=dirty if manifest["kind"] == "delta" else frozenset(),
+            duration_s=time.perf_counter() - started,
+        )
+
+    # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
     def stats(self) -> IngestStats:
@@ -354,6 +498,7 @@ class TrajectoryIngestPipeline:
                 invalidated_routes=self._invalidated_routes,
                 rewarmed=self._rewarmed,
                 refreshes=self._refreshes,
+                snapshots=self._snapshots,
             )
 
     def recent_skips(self) -> list[IngestResult]:
@@ -445,7 +590,9 @@ class TrajectoryIngestPipeline:
             dirty = self.store.append_many(matched_batch)
             self._accepted += len(matched_batch)
             self._pending_dirty |= dirty
+            self._dirty_since_snapshot |= dirty
             self._since_refresh += len(matched_batch)
+            self._since_snapshot += len(matched_batch)
             invalidation = None
             rewarmed = 0
             if self.service is not None and self.parameters.invalidate_on_append and dirty:
@@ -460,6 +607,13 @@ class TrajectoryIngestPipeline:
                 and self._builder_factory is not None
             ):
                 self._refresh_locked()
+            if (
+                self.persist_parameters.auto_snapshot_trajectories
+                and self._since_snapshot >= self.persist_parameters.auto_snapshot_trajectories
+                and self._persist_dir is not None
+                and self.service is not None
+            ):
+                self._save_snapshot_locked(None, full=False)
             return dirty, invalidation, rewarmed
 
     def _record_invalidation(self, invalidation: "InvalidationReport") -> None:

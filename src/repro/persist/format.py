@@ -1,0 +1,156 @@
+"""The on-disk snapshot format: a manifest plus columnar array blobs.
+
+A snapshot is a **directory** containing
+
+* ``manifest.json`` -- format name + version, snapshot kind (``"full"`` or
+  ``"delta"``), the ingest **epoch** (store version) the snapshot captures,
+  the estimator/service configuration needed to boot without raw GPS data,
+  section metadata (network, graph, store, cache), and the logical-name ->
+  file map of every array blob;
+* one ``<name>.npy`` file per logical array, written with plain
+  :func:`numpy.save` so restores can map them with
+  ``numpy.load(..., mmap_mode="r")`` (zero-copy: restored histograms are
+  views into the snapshot file and worker processes restoring the same
+  snapshot share the OS page cache).
+
+The write protocol is crash-safe by ordering: array blobs are written
+first, the manifest last (to a temporary file, then atomically renamed).
+A directory without a readable manifest is never a valid snapshot, so a
+crashed writer can not produce a half-snapshot that loads.
+
+Versioning is strict: :func:`read_manifest` refuses snapshots whose
+``version`` differs from :data:`FORMAT_VERSION` with an actionable error
+instead of deserialising garbage.  Bump :data:`FORMAT_VERSION` whenever the
+column layout changes incompatibly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path as FSPath
+from typing import Mapping
+
+import numpy as np
+
+from ..exceptions import PersistError
+
+#: Identifies the file family; never changes.
+FORMAT_NAME = "repro-snapshot"
+
+#: Incompatible-layout counter.  Readers only accept exactly this version.
+FORMAT_VERSION = 1
+
+#: The manifest file completing (and validating) a snapshot directory.
+MANIFEST_FILENAME = "manifest.json"
+
+#: Snapshot kinds.
+KIND_FULL = "full"
+KIND_DELTA = "delta"
+
+
+def manifest_path(directory: str | os.PathLike) -> FSPath:
+    return FSPath(directory) / MANIFEST_FILENAME
+
+
+def write_arrays(directory: str | os.PathLike, arrays: Mapping[str, np.ndarray]) -> dict[str, str]:
+    """Write each array as ``<name>.npy``; return the logical-name -> file map."""
+    directory = FSPath(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    file_map: dict[str, str] = {}
+    for name, array in arrays.items():
+        filename = f"{name}.npy"
+        np.save(directory / filename, np.ascontiguousarray(array))
+        file_map[name] = filename
+    return file_map
+
+
+def write_manifest(directory: str | os.PathLike, manifest: dict) -> FSPath:
+    """Atomically write the manifest (temp file + rename), completing the snapshot."""
+    directory = FSPath(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    target = directory / MANIFEST_FILENAME
+    temporary = directory / (MANIFEST_FILENAME + ".tmp")
+    temporary.write_text(json.dumps(manifest, indent=2, sort_keys=False) + "\n")
+    os.replace(temporary, target)
+    return target
+
+
+def read_manifest(directory: str | os.PathLike) -> dict:
+    """Load and validate a snapshot manifest.
+
+    Raises :class:`~repro.exceptions.PersistError` when the directory is
+    not a snapshot, the manifest is unreadable, or the format version does
+    not match this build's :data:`FORMAT_VERSION`.
+    """
+    path = manifest_path(directory)
+    if not path.is_file():
+        raise PersistError(
+            f"{os.fspath(directory)!r} is not a snapshot: missing {MANIFEST_FILENAME} "
+            "(an interrupted writer never produces a manifest, so this directory "
+            "holds no restorable state)"
+        )
+    try:
+        manifest = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise PersistError(f"cannot read snapshot manifest {path}: {error}") from error
+    if not isinstance(manifest, dict) or manifest.get("format") != FORMAT_NAME:
+        raise PersistError(
+            f"{path} is not a {FORMAT_NAME} manifest "
+            f"(format={manifest.get('format')!r} if it parsed at all)"
+        )
+    version = manifest.get("version")
+    if version != FORMAT_VERSION:
+        raise PersistError(
+            f"snapshot {os.fspath(directory)} was written with format version "
+            f"{version!r}, but this build of repro reads version {FORMAT_VERSION} "
+            "only; regenerate the snapshot with this build (save_snapshot) or use "
+            "a repro release matching the snapshot's version"
+        )
+    kind = manifest.get("kind")
+    if kind not in (KIND_FULL, KIND_DELTA):
+        raise PersistError(f"snapshot {os.fspath(directory)} has unknown kind {kind!r}")
+    return manifest
+
+
+def load_array(
+    directory: str | os.PathLike,
+    manifest: Mapping,
+    name: str,
+    mmap: bool = True,
+) -> np.ndarray:
+    """Load one logical array of a snapshot, memory-mapped when requested."""
+    file_map = manifest.get("arrays", {})
+    filename = file_map.get(name)
+    if filename is None:
+        raise PersistError(
+            f"snapshot {os.fspath(directory)} has no array {name!r} "
+            f"(present: {sorted(file_map)})"
+        )
+    path = FSPath(directory) / filename
+    try:
+        if mmap:
+            return np.load(path, mmap_mode="r")
+        return np.load(path)
+    except FileNotFoundError as error:
+        raise PersistError(f"snapshot array file missing: {path}") from error
+    except ValueError:
+        # Some numpy builds refuse to map unusual (e.g. zero-length)
+        # payloads; an eager load is always a correct fallback.
+        return np.load(path)
+
+
+def snapshot_payload_bytes(directory: str | os.PathLike, prefix: str | None = None) -> int:
+    """Total on-disk bytes of a snapshot's array blobs.
+
+    With ``prefix`` given, only logical arrays whose name starts with it
+    are counted (e.g. ``"uni_"`` + ``"multi_"`` for the variable payload).
+    """
+    manifest = read_manifest(directory)
+    directory = FSPath(directory)
+    total = 0
+    for name, filename in manifest.get("arrays", {}).items():
+        if prefix is not None and not name.startswith(prefix):
+            continue
+        total += (directory / filename).stat().st_size
+    return total

@@ -1,0 +1,372 @@
+"""Snapshot reader: zero-copy restore of graphs, stores, and warm caches.
+
+:func:`restore_snapshot` rebuilds the live objects a serving process needs
+-- the :class:`~repro.core.hybrid_graph.HybridGraph` (instantiated
+variables, speed-limit fallback cache), the trajectory store, and the
+service's exported warm cache entries -- **without touching raw GPS data**:
+everything comes from the snapshot's columnar arrays.
+
+With ``mmap=True`` (the default) the arrays are loaded via
+``numpy.load(..., mmap_mode="r")`` and the restored histograms adopt
+contiguous *slices* of those maps
+(:meth:`~repro.histograms.univariate.Histogram1D._adopt_arrays` /
+:meth:`~repro.histograms.multivariate.MultiHistogram._adopt_cells`), so the
+distributions are read-only views into the snapshot files: restore cost is
+dominated by object construction, pages fault in lazily on first query,
+and N worker processes restoring the same snapshot share one page cache --
+the multi-process warm boot of ``examples/snapshot_serving.py``.
+
+Restores are **bit-exact**: the adopted arrays are never renormalised or
+re-sorted, so a restored graph serves estimates identical to the process
+that wrote the snapshot (and, because the builder seeds its RNG per
+variable, identical to a cold rebuild from the same trajectories).
+
+Delta snapshots restore recursively: the base chain is restored first,
+then each delta drops the base variables touching its dirty-edge set,
+re-adds the delta's (current) versions, appends its store segment, and
+filters inherited cache entries the same way the live service's targeted
+invalidation would have.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path as FSPath
+
+import numpy as np
+
+from ..config import EstimatorParameters
+from ..core.estimator import CostEstimate
+from ..core.hybrid_graph import HybridGraph
+from ..core.variables import (
+    SOURCE_SPEED_LIMIT,
+    SOURCE_TRAJECTORIES,
+    InstantiatedVariable,
+)
+from ..exceptions import PersistError
+from ..histograms.multivariate import MultiHistogram
+from ..histograms.univariate import Histogram1D
+from ..roadnet.graph import RoadNetwork
+from ..roadnet.path import Path
+from ..timeutil import all_intervals
+from ..trajectories.matched import EdgeTraversal, MatchedTrajectory
+from ..trajectories.mutable import MutableTrajectoryStore
+from ..trajectories.store import TrajectoryStore
+from . import format as fmt
+
+#: Guard against pathological (cyclic or unboundedly deep) delta chains.
+_MAX_CHAIN_DEPTH = 64
+
+
+@dataclass
+class RestoredSnapshot:
+    """Everything a snapshot (or delta chain) restores.
+
+    ``graph`` / ``store`` are ``None`` when the snapshot was written
+    without them (e.g. a store-only snapshot from a detached pipeline).
+    ``cache_entries`` are ``(cache key, estimate)`` pairs ready for
+    :meth:`~repro.service.CostEstimationService.import_cache_entries`.
+    """
+
+    manifest: dict
+    graph: HybridGraph | None
+    store: TrajectoryStore | None
+    cache_entries: list[tuple[tuple, CostEstimate]] = field(default_factory=list)
+    #: Snapshot directories restored, base-first (length 1 for full snapshots).
+    chain: tuple[str, ...] = ()
+
+    @property
+    def epoch(self) -> int:
+        """The ingest epoch (store version) the snapshot captures."""
+        return int(self.manifest.get("epoch", 0))
+
+    @property
+    def kind(self) -> str:
+        return self.manifest.get("kind", fmt.KIND_FULL)
+
+
+# --------------------------------------------------------------------- #
+# Section decoders
+# --------------------------------------------------------------------- #
+def _decode_network(directory, manifest, mmap: bool) -> RoadNetwork:
+    meta = manifest["network"]
+    load = lambda name: fmt.load_array(directory, manifest, name, mmap=mmap)  # noqa: E731
+    network = RoadNetwork(name=meta["name"])
+    categories = meta["categories"]
+    vertex_ids = load("net_vertex_ids")
+    vertex_x = load("net_vertex_x")
+    vertex_y = load("net_vertex_y")
+    for vertex_id, x, y in zip(vertex_ids, vertex_x, vertex_y):
+        network.add_vertex(int(vertex_id), float(x), float(y))
+    edge_ids = load("net_edge_ids")
+    sources = load("net_edge_source")
+    targets = load("net_edge_target")
+    lengths = load("net_edge_length_m")
+    speeds = load("net_edge_speed_kmh")
+    category_codes = load("net_edge_category")
+    for edge_id, source, target, length, speed, code in zip(
+        edge_ids, sources, targets, lengths, speeds, category_codes
+    ):
+        network.add_edge(
+            int(source),
+            int(target),
+            length_m=float(length),
+            speed_limit_kmh=float(speed),
+            category=categories[int(code)],
+            edge_id=int(edge_id),
+        )
+    return network
+
+
+def decode_variables(directory, manifest, alpha_minutes: int, mmap: bool = True) -> list[InstantiatedVariable]:
+    """Reconstruct the instantiated variables of a snapshot's graph section."""
+    load = lambda name: fmt.load_array(directory, manifest, name, mmap=mmap)  # noqa: E731
+    intervals = all_intervals(alpha_minutes)
+    variables: list[InstantiatedVariable] = []
+
+    uni_edge = load("uni_edge")
+    uni_interval = load("uni_interval")
+    uni_support = load("uni_support")
+    uni_fallback = load("uni_is_fallback_source")
+    uni_offsets = load("uni_offsets")
+    uni_lows = load("uni_lows")
+    uni_highs = load("uni_highs")
+    uni_probs = load("uni_probs")
+    for i in range(uni_edge.size):
+        start, stop = int(uni_offsets[i]), int(uni_offsets[i + 1])
+        histogram = Histogram1D._adopt_arrays(
+            uni_lows[start:stop], uni_highs[start:stop], uni_probs[start:stop]
+        )
+        variables.append(
+            InstantiatedVariable(
+                path=Path([int(uni_edge[i])]),
+                interval=intervals[int(uni_interval[i])],
+                distribution=histogram,
+                support=int(uni_support[i]),
+                source=SOURCE_SPEED_LIMIT if uni_fallback[i] else SOURCE_TRAJECTORIES,
+            )
+        )
+
+    multi_interval = load("multi_interval")
+    multi_support = load("multi_support")
+    path_offsets = load("multi_path_offsets")
+    path_edges = load("multi_path_edges")
+    boundary_offsets = load("multi_boundary_offsets")
+    boundaries = load("multi_boundaries")
+    cell_offsets = load("multi_cell_offsets")
+    cell_index_offsets = load("multi_cell_index_offsets")
+    cell_indices = load("multi_cell_indices")
+    cell_probs = load("multi_cell_probs")
+    boundary_cursor = 0
+    for i in range(multi_interval.size):
+        path_start, path_stop = int(path_offsets[i]), int(path_offsets[i + 1])
+        dims = [int(edge) for edge in path_edges[path_start:path_stop]]
+        dim_boundaries = []
+        for _ in dims:
+            b_start = int(boundary_offsets[boundary_cursor])
+            b_stop = int(boundary_offsets[boundary_cursor + 1])
+            dim_boundaries.append(boundaries[b_start:b_stop])
+            boundary_cursor += 1
+        n_cells = int(cell_offsets[i + 1]) - int(cell_offsets[i])
+        flat_start, flat_stop = int(cell_index_offsets[i]), int(cell_index_offsets[i + 1])
+        indices = cell_indices[flat_start:flat_stop].reshape(n_cells, len(dims))
+        probs = cell_probs[int(cell_offsets[i]) : int(cell_offsets[i + 1])]
+        joint = MultiHistogram._adopt_cells(dims, dim_boundaries, indices, probs)
+        variables.append(
+            InstantiatedVariable(
+                path=Path(dims),
+                interval=intervals[int(multi_interval[i])],
+                distribution=joint,
+                support=int(multi_support[i]),
+                source=SOURCE_TRAJECTORIES,
+            )
+        )
+    return variables
+
+
+def _decode_graph(directory, manifest, mmap: bool) -> HybridGraph:
+    parameters = EstimatorParameters(**manifest["estimator_parameters"])
+    network = _decode_network(directory, manifest, mmap)
+    graph = HybridGraph(network, parameters)
+    for variable in decode_variables(directory, manifest, parameters.alpha_minutes, mmap):
+        graph.add_variable(variable)
+    _prime_fallbacks(graph, directory, manifest, mmap)
+    return graph
+
+
+def _prime_fallbacks(graph: HybridGraph, directory, manifest, mmap: bool) -> None:
+    intervals = all_intervals(graph.parameters.alpha_minutes)
+    fb_edge = fmt.load_array(directory, manifest, "fb_edge", mmap=mmap)
+    fb_interval = fmt.load_array(directory, manifest, "fb_interval", mmap=mmap)
+    for edge_id, interval_index in zip(fb_edge, fb_interval):
+        # Re-derives the deterministic speed-limit uniform and caches it;
+        # keys shadowed by a real variable (possible after a delta) are
+        # simply not re-cached.
+        graph.unit_variable(int(edge_id), intervals[int(interval_index)])
+
+
+def decode_trajectories(directory, manifest, mmap: bool = True) -> list[MatchedTrajectory]:
+    """Reconstruct the matched trajectories of a snapshot's store section."""
+    load = lambda name: fmt.load_array(directory, manifest, name, mmap=mmap)  # noqa: E731
+    traj_ids = load("traj_ids")
+    offsets = load("traj_offsets")
+    edges = load("traj_edges")
+    entries = load("traj_entry_s")
+    costs = load("traj_costs")
+    trajectories = []
+    for i in range(traj_ids.size):
+        start, stop = int(offsets[i]), int(offsets[i + 1])
+        trajectories.append(
+            MatchedTrajectory(
+                int(traj_ids[i]),
+                [
+                    EdgeTraversal(int(edge), float(entry), float(cost))
+                    for edge, entry, cost in zip(
+                        edges[start:stop], entries[start:stop], costs[start:stop]
+                    )
+                ],
+            )
+        )
+    return trajectories
+
+
+def _build_store(type_name: str, trajectories) -> TrajectoryStore:
+    if type_name == "MutableTrajectoryStore":
+        return MutableTrajectoryStore(trajectories)
+    return TrajectoryStore(trajectories)
+
+
+def decode_cache_entries(
+    directory, manifest, mmap: bool = True
+) -> list[tuple[tuple, CostEstimate]]:
+    """Reconstruct exported warm-cache entries as ``(key, estimate)`` pairs."""
+    cache_meta = manifest.get("cache") or {}
+    if not cache_meta.get("n_entries"):
+        return []
+    methods = cache_meta["methods"]
+    load = lambda name: fmt.load_array(directory, manifest, name, mmap=mmap)  # noqa: E731
+    interval = load("cache_interval")
+    method_codes = load("cache_method")
+    departures = load("cache_departure_s")
+    entropies = load("cache_entropy")
+    path_offsets = load("cache_path_offsets")
+    path_edges = load("cache_path_edges")
+    hist_offsets = load("cache_hist_offsets")
+    lows = load("cache_lows")
+    highs = load("cache_highs")
+    probs = load("cache_probs")
+    entries: list[tuple[tuple, CostEstimate]] = []
+    for i in range(interval.size):
+        p_start, p_stop = int(path_offsets[i]), int(path_offsets[i + 1])
+        edge_ids = tuple(int(edge) for edge in path_edges[p_start:p_stop])
+        h_start, h_stop = int(hist_offsets[i]), int(hist_offsets[i + 1])
+        histogram = Histogram1D._adopt_arrays(
+            lows[h_start:h_stop], highs[h_start:h_stop], probs[h_start:h_stop]
+        )
+        method = methods[int(method_codes[i])]
+        key = (edge_ids, int(interval[i]), method)
+        estimate = CostEstimate(
+            path=Path(edge_ids),
+            departure_time_s=float(departures[i]),
+            histogram=histogram,
+            method=method,
+            decomposition=None,
+            entropy=float(entropies[i]),
+        )
+        entries.append((key, estimate))
+    return entries
+
+
+# --------------------------------------------------------------------- #
+# Restore (full snapshots and delta chains)
+# --------------------------------------------------------------------- #
+def restore_snapshot(directory, mmap: bool = True, _depth: int = 0) -> RestoredSnapshot:
+    """Restore a snapshot directory (recursively resolving delta chains)."""
+    if _depth > _MAX_CHAIN_DEPTH:
+        raise PersistError(
+            f"delta chain deeper than {_MAX_CHAIN_DEPTH} snapshots at "
+            f"{os.fspath(directory)}; compact the chain (repro.persist.compact_snapshot)"
+        )
+    directory = FSPath(directory)
+    manifest = fmt.read_manifest(directory)
+    if manifest["kind"] == fmt.KIND_DELTA:
+        base_directory = (directory / manifest["base"]).resolve()
+        base = restore_snapshot(base_directory, mmap=mmap, _depth=_depth + 1)
+        return _apply_delta(base, directory, manifest, mmap)
+
+    graph = _decode_graph(directory, manifest, mmap) if manifest.get("graph") else None
+    store = None
+    if manifest.get("store"):
+        store = _build_store(
+            manifest["store"]["type"], decode_trajectories(directory, manifest, mmap)
+        )
+    cache_entries = decode_cache_entries(directory, manifest, mmap)
+    return RestoredSnapshot(
+        manifest=manifest,
+        graph=graph,
+        store=store,
+        cache_entries=cache_entries,
+        chain=(str(directory),),
+    )
+
+
+def _apply_delta(
+    base: RestoredSnapshot, directory: FSPath, manifest: dict, mmap: bool
+) -> RestoredSnapshot:
+    """Apply one delta snapshot on top of its restored base."""
+    if base.epoch != manifest.get("base_epoch"):
+        raise PersistError(
+            f"delta snapshot {directory} was written against epoch "
+            f"{manifest.get('base_epoch')}, but its base chain restored epoch "
+            f"{base.epoch}; the base snapshot was regenerated or the chain is mixed up"
+        )
+    dirty = frozenset(int(edge) for edge in manifest.get("dirty_edges", ()))
+
+    graph = base.graph
+    if manifest.get("graph") is not None:
+        if graph is None:
+            raise PersistError(
+                f"delta snapshot {directory} carries graph columns but its base has no graph"
+            )
+        graph.discard_variables_touching(dirty)
+        for variable in decode_variables(
+            directory, manifest, graph.parameters.alpha_minutes, mmap
+        ):
+            graph.add_variable(variable)
+        _prime_fallbacks(graph, directory, manifest, mmap)
+
+    store = base.store
+    if manifest.get("store") is not None:
+        segment_offset = int(manifest["store"]["segment_offset"])
+        base_trajectories = store.trajectories if store is not None else []
+        if len(base_trajectories) != segment_offset:
+            raise PersistError(
+                f"delta snapshot {directory} expects a base store of "
+                f"{segment_offset} trajectories, found {len(base_trajectories)}"
+            )
+        segment = decode_trajectories(directory, manifest, mmap)
+        store = _build_store(manifest["store"]["type"], base_trajectories + segment)
+
+    # Inherited warm-cache entries age the same way the live service's
+    # targeted invalidation ages them: entries on paths touching the dirty
+    # set are dropped; entries on disjoint paths stay valid.
+    cache_entries = [
+        (key, estimate)
+        for key, estimate in base.cache_entries
+        if dirty.isdisjoint(key[0])
+    ]
+    cache_entries.extend(decode_cache_entries(directory, manifest, mmap))
+
+    return RestoredSnapshot(
+        manifest=manifest,
+        graph=graph,
+        store=store,
+        cache_entries=cache_entries,
+        chain=base.chain + (str(directory),),
+    )
+
+
+def snapshot_info(directory) -> dict:
+    """The manifest of a snapshot, validated but without restoring anything."""
+    return fmt.read_manifest(directory)

@@ -28,7 +28,12 @@ from .requests import (
     EstimateResponse,
 )
 from .service import CostEstimationService, InvalidationReport
-from .warmup import WarmupReport, most_traveled_paths, warmup_from_store
+from .warmup import (
+    WarmupReport,
+    most_traveled_paths,
+    warm_boot_from_entries,
+    warmup_from_store,
+)
 
 __all__ = [
     "BatchExecutor",
@@ -47,5 +52,6 @@ __all__ = [
     "SOURCE_ROUTE_CACHE",
     "WarmupReport",
     "most_traveled_paths",
+    "warm_boot_from_entries",
     "warmup_from_store",
 ]

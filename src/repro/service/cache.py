@@ -97,6 +97,15 @@ class LRUCache(Generic[K, V]):
         with self._lock:
             return iter(list(self._entries.keys()))
 
+    def items(self) -> list[tuple[K, V]]:
+        """The cached entries, least- to most-recently used (a snapshot).
+
+        Does not touch recency or statistics; used by the persistence
+        layer to export warm cache entries into a snapshot.
+        """
+        with self._lock:
+            return list(self._entries.items())
+
     def get(self, key: K, default: V | None = None) -> V | None:
         """The cached value (marking it most recently used), else ``default``."""
         with self._lock:

@@ -615,6 +615,130 @@ class CostEstimationService:
         return warmup_from_store(self, store, **kwargs)
 
     # ------------------------------------------------------------------ #
+    # Snapshot persistence (repro.persist)
+    # ------------------------------------------------------------------ #
+    def export_cache_entries(self, limit: int | None = None):
+        """The warm result-cache entries as ``(cache key, estimate)`` pairs.
+
+        Ordered least- to most-recently used; with ``limit`` given, only
+        the ``limit`` most-recently-used entries are exported.  This is
+        what a full snapshot persists so a restored process boots with a
+        hot cache.
+        """
+        entries = self._result_cache.items()
+        if limit is not None and len(entries) > limit:
+            entries = entries[-limit:]
+        return entries
+
+    def import_cache_entries(self, entries) -> int:
+        """Seed the result cache from exported ``(key, estimate)`` pairs.
+
+        The inverse of :meth:`export_cache_entries`; insertion preserves
+        the export's recency order.  Returns the number of entries stored
+        (bounded by the cache capacity).
+        """
+        epoch = self._epoch
+        stored = 0
+        for key, estimate in entries:
+            if self._result_cache.put(key, estimate, guard=lambda: self._epoch == epoch):
+                stored += 1
+        return stored
+
+    def _snapshot_service_info(self) -> dict:
+        """Everything needed to reconstruct an equivalent service from a snapshot."""
+        from dataclasses import asdict
+
+        base = self._family.base
+        return {
+            "default_method": self.default_method,
+            "parameters": asdict(self.parameters),
+            "estimator": {
+                "decomposition_strategy": base.decomposition_strategy,
+                "max_aggregate_buckets": base.max_aggregate_buckets,
+                "output_buckets": base.output_buckets,
+                "seed": base.seed,
+            },
+        }
+
+    def save_snapshot(
+        self,
+        directory,
+        store: "TrajectoryStore | None" = None,
+        persist_parameters=None,
+    ) -> dict:
+        """Write a full columnar snapshot of this service's state; return the manifest.
+
+        Persists the hybrid graph (instantiated variables, fallback
+        cache), the service/estimator configuration, the warm result-cache
+        entries (when ``persist_parameters.include_caches``), and
+        optionally the trajectory ``store`` that backs the graph -- the
+        snapshot is tagged with the store's ingest epoch.  A process can
+        then boot from the snapshot with :meth:`from_snapshot`, never
+        touching raw GPS data.
+        """
+        from ..config import PersistParameters
+        from ..persist.writer import write_snapshot
+
+        persist_parameters = persist_parameters or PersistParameters()
+        cache_entries = (
+            self.export_cache_entries(limit=persist_parameters.max_cache_entries)
+            if persist_parameters.include_caches
+            else ()
+        )
+        return write_snapshot(
+            directory,
+            graph=self.hybrid_graph,
+            store=store,
+            cache_entries=cache_entries,
+            service_info=self._snapshot_service_info(),
+            parameters=persist_parameters,
+        )
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        directory,
+        parameters: ServiceParameters | None = None,
+        persist_parameters=None,
+    ) -> "CostEstimationService":
+        """Boot a service from a snapshot directory (no raw GPS, no rebuild).
+
+        Restores the hybrid graph zero-copy (memory-mapped arrays),
+        reconstructs the estimator with the saved configuration, and
+        imports the exported warm cache entries, so the first queries of
+        the restored process hit the cache exactly like the process that
+        wrote the snapshot.  ``parameters`` overrides the snapshot's
+        recorded :class:`ServiceParameters`.
+        """
+        from ..config import PersistParameters
+        from ..persist.reader import restore_snapshot
+
+        persist_parameters = persist_parameters or PersistParameters()
+        restored = restore_snapshot(directory, mmap=persist_parameters.mmap)
+        if restored.graph is None:
+            raise ServiceError(
+                f"snapshot {directory} has no hybrid graph; it cannot boot an "
+                "estimation service (was it written by a detached store-only pipeline?)"
+            )
+        info = restored.manifest.get("service") or {}
+        estimator_info = info.get("estimator") or {}
+        estimator = PathCostEstimator(
+            restored.graph,
+            decomposition_strategy=estimator_info.get("decomposition_strategy", "coarsest"),
+            max_aggregate_buckets=estimator_info.get("max_aggregate_buckets", 32),
+            output_buckets=estimator_info.get("output_buckets", 64),
+            seed=estimator_info.get("seed", 0),
+        )
+        if parameters is None and info.get("parameters"):
+            parameters = ServiceParameters(**info["parameters"])
+        service = cls(estimator, parameters)
+        if persist_parameters.include_caches and restored.cache_entries:
+            from .warmup import warm_boot_from_entries
+
+            warm_boot_from_entries(service, restored.cache_entries)
+        return service
+
+    # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
     def _estimator_for(self, method: str) -> PathCostEstimator:

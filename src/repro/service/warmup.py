@@ -8,6 +8,11 @@ resulting queries through the service's batch API so both cache layers are
 hot before live traffic arrives.  Because every warmed propagated joint
 memoises its collapsed cost histogram, later budget queries that hit the
 decomposition cache skip the MC kernel entirely.
+
+A process booting from a snapshot (:mod:`repro.persist`) warms up even
+faster: :func:`warm_boot_from_entries` seeds the result cache directly
+from the snapshot's exported entries -- zero estimator invocations, so the
+restored process starts with the writer's hit rate.
 """
 
 from __future__ import annotations
@@ -108,5 +113,24 @@ def warmup_from_store(
         n_paths=len(paths),
         n_requests=len(requests),
         n_computed=n_computed,
+        duration_s=time.perf_counter() - started,
+    )
+
+
+def warm_boot_from_entries(service: "CostEstimationService", entries) -> WarmupReport:
+    """Seed the service's result cache from snapshot-exported entries.
+
+    The warm-boot counterpart of :func:`warmup_from_store`: instead of
+    recomputing the most-traveled paths, the finished estimates a previous
+    process exported into a snapshot are inserted directly
+    (``n_computed`` is therefore always zero).
+    """
+    started = time.perf_counter()
+    entries = list(entries)
+    stored = service.import_cache_entries(entries)
+    return WarmupReport(
+        n_paths=len({key[0] for key, _ in entries}),
+        n_requests=stored,
+        n_computed=0,
         duration_s=time.perf_counter() - started,
     )

@@ -161,7 +161,16 @@ class MutableTrajectoryStore(TrajectoryStore):
 
     @property
     def version(self) -> int:
-        """Monotonic version counter: the number of appends ever applied."""
+        """Monotonic version counter; always equals the trajectory count.
+
+        Seeded with the initial count and bumped once per append, so the
+        invariant ``version == len(store)`` holds for the store's whole
+        life.  The persistence layer (:mod:`repro.persist`) relies on it:
+        snapshots are epoch-tagged with the version, and a
+        ``MutableTrajectoryStore`` rebuilt from a restored snapshot
+        resumes at exactly the snapshot's epoch -- delta segments line up
+        without any separate epoch bookkeeping.
+        """
         with self._append_lock:
             return self._version
 

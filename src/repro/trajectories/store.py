@@ -186,6 +186,20 @@ class TrajectoryStore:
         """A store holding the union of both stores' trajectories."""
         return TrajectoryStore(list(self._trajectories) + list(other._trajectories))
 
+    def stats(self) -> dict[str, int]:
+        """Summary counters of the store's contents.
+
+        Used by operators and by the persistence round-trip tests: two
+        stores with equal stats (and equal per-trajectory payloads) are
+        interchangeable for instantiation and evaluation.  Handles empty
+        stores (all zeros).
+        """
+        return {
+            "n_trajectories": len(self._trajectories),
+            "total_edge_traversals": self.total_edge_traversals(),
+            "n_covered_edges": len(self._edge_index),
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return (
             f"TrajectoryStore({len(self._trajectories)} trajectories, "

@@ -1,0 +1,165 @@
+"""Snapshot format: version guard, manifest validation, footprint accounting."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import PersistError, PersistParameters, restore_snapshot, snapshot_info, write_snapshot
+from repro.persist import FORMAT_VERSION, MANIFEST_FILENAME
+from repro.persist.format import read_manifest, snapshot_payload_bytes
+
+
+@pytest.fixture
+def snapshot_dir(tmp_path, persist_graph, persist_store):
+    directory = tmp_path / "snap"
+    write_snapshot(directory, graph=persist_graph, store=persist_store)
+    return directory
+
+
+class TestVersionGuard:
+    def test_round_trip_manifest(self, snapshot_dir):
+        manifest = snapshot_info(snapshot_dir)
+        assert manifest["format"] == "repro-snapshot"
+        assert manifest["version"] == FORMAT_VERSION
+        assert manifest["kind"] == "full"
+
+    def test_bumped_version_fails_loudly(self, snapshot_dir):
+        path = snapshot_dir / MANIFEST_FILENAME
+        manifest = json.loads(path.read_text())
+        manifest["version"] = FORMAT_VERSION + 1
+        path.write_text(json.dumps(manifest))
+        with pytest.raises(PersistError) as excinfo:
+            restore_snapshot(snapshot_dir)
+        message = str(excinfo.value)
+        assert str(FORMAT_VERSION + 1) in message
+        assert str(FORMAT_VERSION) in message
+        assert "regenerate" in message
+
+    def test_wrong_format_name_rejected(self, snapshot_dir):
+        path = snapshot_dir / MANIFEST_FILENAME
+        manifest = json.loads(path.read_text())
+        manifest["format"] = "something-else"
+        path.write_text(json.dumps(manifest))
+        with pytest.raises(PersistError, match="repro-snapshot"):
+            read_manifest(snapshot_dir)
+
+    def test_missing_manifest_is_not_a_snapshot(self, tmp_path):
+        (tmp_path / "not-a-snapshot").mkdir()
+        with pytest.raises(PersistError, match="missing manifest.json"):
+            restore_snapshot(tmp_path / "not-a-snapshot")
+
+    def test_corrupt_manifest_json(self, snapshot_dir):
+        (snapshot_dir / MANIFEST_FILENAME).write_text("{not json")
+        with pytest.raises(PersistError, match="cannot read"):
+            restore_snapshot(snapshot_dir)
+
+    def test_missing_array_reported_by_name(self, snapshot_dir):
+        (snapshot_dir / "uni_lows.npy").unlink()
+        with pytest.raises(PersistError, match="uni_lows"):
+            restore_snapshot(snapshot_dir)
+
+
+class TestFootprintAccounting:
+    def test_array_memory_bytes_vs_figure12_estimate(self, persist_graph):
+        """Both accountings exist and are the same order of magnitude."""
+        scalars = persist_graph.storage_size()
+        figure12 = persist_graph.memory_usage_bytes()
+        measured = persist_graph.array_memory_bytes()
+        assert figure12 == scalars * 8
+        assert measured > 0
+        # Figure 12 counts shared boundaries once and cells as rank+1
+        # scalars; the arrays store 2 bounds per rank-1 bucket and int64
+        # indices per cell.  The two stay within a small constant factor.
+        assert 0.5 * figure12 < measured < 3.0 * figure12
+
+    def test_variable_nbytes_matches_backing_arrays(self, persist_graph):
+        variable = persist_graph.variables[0]
+        assert variable.nbytes == variable.distribution.nbytes
+        rank_one = [v for v in persist_graph.variables if v.is_unit]
+        histogram = rank_one[0].distribution
+        assert histogram.nbytes == 3 * 8 * histogram.n_buckets
+
+    def test_snapshot_variable_payload_matches_reported_footprint(
+        self, tmp_path, persist_graph
+    ):
+        """The satellite acceptance: file size ~= array_memory_bytes.
+
+        The variable blobs (uni_* + multi_*) hold exactly the backing
+        arrays plus per-variable metadata columns (edge ids, intervals,
+        supports, offsets) and one ~128-byte ``.npy`` header per file, so
+        the on-disk payload matches the reported footprint within a
+        modest overhead band.
+        """
+        directory = tmp_path / "snap"
+        write_snapshot(directory, graph=persist_graph)
+        reported = persist_graph.array_memory_bytes(include_fallbacks=False)
+        on_disk = snapshot_payload_bytes(directory, prefix="uni_") + snapshot_payload_bytes(
+            directory, prefix="multi_"
+        )
+        assert on_disk >= reported  # metadata only ever adds bytes
+        n_variables = persist_graph.num_variables()
+        metadata_allowance = 64 * n_variables + 50 * 128  # offset columns + npy headers
+        assert on_disk <= reported + metadata_allowance
+        # The manifest records the same number for operators.
+        manifest = snapshot_info(directory)
+        assert manifest["graph"]["array_memory_bytes"] == persist_graph.array_memory_bytes()
+
+    def test_writing_twice_is_deterministic(self, tmp_path, persist_graph, persist_store):
+        first = tmp_path / "a"
+        second = tmp_path / "b"
+        write_snapshot(first, graph=persist_graph, store=persist_store)
+        write_snapshot(second, graph=persist_graph, store=persist_store)
+        manifest = snapshot_info(first)
+        for filename in manifest["arrays"].values():
+            assert (first / filename).read_bytes() == (second / filename).read_bytes()
+
+
+class TestWriterValidation:
+    def test_empty_snapshot_rejected(self, tmp_path):
+        with pytest.raises(PersistError, match="at least"):
+            write_snapshot(tmp_path / "empty")
+
+    def test_store_only_snapshot(self, tmp_path, persist_store):
+        directory = tmp_path / "store-only"
+        write_snapshot(directory, store=persist_store)
+        restored = restore_snapshot(directory)
+        assert restored.graph is None
+        assert len(restored.store) == len(persist_store)
+        assert restored.store.covered_edges() == persist_store.covered_edges()
+
+    def test_persist_parameters_validation(self):
+        with pytest.raises(Exception):
+            PersistParameters(max_cache_entries=0)
+        with pytest.raises(Exception):
+            PersistParameters(auto_snapshot_trajectories=-1)
+        with pytest.raises(Exception):
+            PersistParameters(compact_every_deltas=-1)
+        assert PersistParameters(max_cache_entries=None).max_cache_entries is None
+
+
+class TestMmapZeroCopy:
+    def test_restored_histograms_view_snapshot_files(self, tmp_path, persist_graph):
+        directory = tmp_path / "snap"
+        write_snapshot(directory, graph=persist_graph)
+        restored = restore_snapshot(directory, mmap=True)
+        rank_one = [v for v in restored.graph.variables if v.is_unit]
+        lows = rank_one[0].distribution.lows
+        assert isinstance(lows.base, np.memmap) or isinstance(lows, np.memmap) or (
+            lows.base is not None and isinstance(getattr(lows.base, "base", None), np.memmap)
+        )
+
+    def test_eager_restore_matches_mmap_restore(self, tmp_path, persist_graph):
+        directory = tmp_path / "snap"
+        write_snapshot(directory, graph=persist_graph)
+        mapped = restore_snapshot(directory, mmap=True)
+        eager = restore_snapshot(directory, mmap=False)
+        assert mapped.graph.num_variables() == eager.graph.num_variables()
+        for key, variable in mapped.graph._variables.items():
+            other = eager.graph._variables[key]
+            np.testing.assert_array_equal(
+                np.asarray(variable.cost_distribution().probabilities),
+                np.asarray(other.cost_distribution().probabilities),
+            )

@@ -6,6 +6,7 @@ from repro import (
     ConfigurationError,
     EstimatorParameters,
     ExperimentParameters,
+    PersistParameters,
     ServiceParameters,
     SimulationParameters,
 )
@@ -99,6 +100,27 @@ class TestServiceParameters:
             ServiceParameters(warmup_max_cardinality=0)
         with pytest.raises(ConfigurationError):
             ServiceParameters(warmup_intervals_per_path=0)
+
+
+class TestPersistParameters:
+    def test_defaults(self):
+        parameters = PersistParameters()
+        assert parameters.include_caches
+        assert parameters.max_cache_entries == 4096
+        assert parameters.mmap
+        assert parameters.auto_snapshot_trajectories == 0
+        assert parameters.compact_every_deltas == 8
+
+    def test_unlimited_cache_export(self):
+        assert PersistParameters(max_cache_entries=None).max_cache_entries is None
+
+    def test_invalid_values(self):
+        with pytest.raises(ConfigurationError):
+            PersistParameters(max_cache_entries=0)
+        with pytest.raises(ConfigurationError):
+            PersistParameters(auto_snapshot_trajectories=-1)
+        with pytest.raises(ConfigurationError):
+            PersistParameters(compact_every_deltas=-1)
 
 
 class TestExperimentParameters:
