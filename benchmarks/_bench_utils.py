@@ -81,6 +81,19 @@ def numpy_environment() -> dict:
     }
 
 
+def percentiles(values, points=(50.0, 95.0, 99.0, 99.9)) -> dict[str, float]:
+    """Labelled percentiles (``{"p50": ..., "p99": ...}``) of ``values``.
+
+    Delegates to :func:`repro.frontend.stats.percentiles` -- the same
+    implementation the serving front-end's latency harness reports with,
+    so benchmark tables and front-end reports can never disagree on what
+    "p99" means.  Returns ``{}`` for empty input.
+    """
+    from repro.frontend.stats import percentiles as _percentiles
+
+    return _percentiles(values, points)
+
+
 def write_result(name: str, text: str) -> None:
     """Persist a rendered result table and echo it to stdout."""
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)

@@ -37,7 +37,7 @@ from repro import (
     grid_network,
 )
 
-from _bench_utils import write_result, write_result_json
+from _bench_utils import percentiles, write_result, write_result_json
 
 PRESETS = {
     "tiny": dict(grid=5, n_trajectories=250, beta=10, max_cardinality=4, repeats=5),
@@ -106,6 +106,7 @@ def main(argv=None) -> int:
     first_pass = service.submit_batch(requests)
     service_cold_elapsed = time.perf_counter() - started
 
+    warm_query_latencies_ms = []
     started = time.perf_counter()
     for _ in range(repeats):
         warm_pass = service.submit_batch(requests)
@@ -113,6 +114,12 @@ def main(argv=None) -> int:
     n_warm = repeats * len(queries)
     warm_qps = n_warm / warm_elapsed
     warm_latency = warm_elapsed / n_warm
+    for _ in range(repeats):
+        for request in requests:
+            query_started = time.perf_counter()
+            service.submit(request)
+            warm_query_latencies_ms.append((time.perf_counter() - query_started) * 1e3)
+    warm_percentiles = percentiles(warm_query_latencies_ms)
 
     # -- acceptance: numerical identity and >= 5x warm speedup. --------- #
     for direct_estimate, response in zip(direct, first_pass):
@@ -126,6 +133,28 @@ def main(argv=None) -> int:
         assert response.cache_hit, "warm pass missed the cache"
     speedup = cold_latency / warm_latency
     assert speedup >= 5.0, f"warm speedup only {speedup:.1f}x (need >= 5x)"
+
+    # -- micro-benchmark: persistent batch executor vs. a pool per batch. #
+    # The service used to build a fresh ThreadPoolExecutor inside every
+    # submit_batch call; the pool is now created once and reused.  Measure
+    # the per-batch overhead both ways on no-op work to isolate the cost
+    # that refactor removed from every parallel batched submit.
+    from repro.service.batch import BatchExecutor
+
+    noop_work = {index: (lambda: None) for index in range(8)}
+    micro_rounds = 100
+    persistent = BatchExecutor(max_workers=4)
+    persistent.execute(noop_work)  # create the pool outside the timed region
+    started = time.perf_counter()
+    for _ in range(micro_rounds):
+        persistent.execute(noop_work)
+    persistent_ms = (time.perf_counter() - started) / micro_rounds * 1e3
+    persistent.close()
+    started = time.perf_counter()
+    for _ in range(micro_rounds):
+        BatchExecutor(max_workers=4).execute(noop_work)
+    fresh_ms = (time.perf_counter() - started) / micro_rounds * 1e3
+    pool_overhead_ms = fresh_ms - persistent_ms
 
     stats = service.stats()
     results = stats["result_cache"]
@@ -142,6 +171,11 @@ def main(argv=None) -> int:
         f"({results.hits} hits / {results.misses} misses, size {results.size}/{results.capacity})",
         f"decomposition    : {stats['decomposition_cache']}",
         f"served / computed: {stats['served']} / {stats['computed']}",
+        f"warm query tail  : {', '.join(f'{label} {value:.4f}ms' for label, value in warm_percentiles.items())}",
+        "",
+        f"batch executor   : persistent pool {persistent_ms:.3f} ms/batch vs "
+        f"fresh pool per batch {fresh_ms:.3f} ms/batch "
+        f"({pool_overhead_ms:.3f} ms pool-churn overhead removed per parallel batch)",
         "service results numerically identical to direct estimates: yes",
     ]
     write_result("service_throughput", "\n".join(lines))
@@ -157,6 +191,14 @@ def main(argv=None) -> int:
             "warm_latency_ms": warm_latency * 1e3,
             "speedup": speedup,
             "result_cache_hit_rate": results.hit_rate,
+            "warm_query_percentiles_ms": warm_percentiles,
+            "executor_microbench": {
+                "rounds": micro_rounds,
+                "work_items": len(noop_work),
+                "persistent_pool_ms_per_batch": persistent_ms,
+                "fresh_pool_ms_per_batch": fresh_ms,
+                "pool_churn_overhead_ms": pool_overhead_ms,
+            },
         },
     )
     return 0

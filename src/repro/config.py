@@ -212,6 +212,99 @@ class ServiceParameters:
             )
 
 
+#: Backpressure policies of the serving front-end's admission queue.
+BACKPRESSURE_BLOCK = "block"
+BACKPRESSURE_REJECT = "reject"
+BACKPRESSURE_DROP_OLDEST = "drop-oldest"
+
+#: Every admission policy the front-end understands.
+BACKPRESSURE_POLICIES = (
+    BACKPRESSURE_BLOCK,
+    BACKPRESSURE_REJECT,
+    BACKPRESSURE_DROP_OLDEST,
+)
+
+
+@dataclass(frozen=True)
+class FrontendParameters:
+    """Parameters for the async serving front-end (:mod:`repro.frontend`).
+
+    Attributes
+    ----------
+    queue_capacity:
+        Bound on each admission lane (estimate and route requests queue in
+        separate lanes).  What happens when a lane is full is decided by
+        ``backpressure``.
+    backpressure:
+        Admission policy for a full lane: ``"block"`` makes the submitting
+        caller wait for room (classic backpressure), ``"reject"`` returns a
+        typed ``"rejected"`` response immediately, and ``"drop-oldest"``
+        admits the new request by shedding the oldest queued one (which
+        receives a typed ``"dropped"`` response).  Shedding keeps the
+        front-end serving under overload instead of collapsing.
+    block_timeout_s:
+        Under the ``"block"`` policy, how long a submit waits for room
+        before giving up with a ``"rejected"`` response.  ``None`` waits
+        forever.
+    max_batch_size:
+        Largest batch the coalescer hands to
+        :meth:`~repro.service.CostEstimationService.estimate_batch` /
+        ``route_batch`` in one call.
+    max_linger_ms:
+        After the first request of a batch is dequeued, how long the
+        coalescer waits for more same-lane arrivals before dispatching a
+        partial batch.  Under load, batches fill immediately and the
+        linger never elapses; at low rates it bounds the latency cost of
+        coalescing.
+    n_workers:
+        Worker threads draining the admission queue.  One worker already
+        keeps both lanes moving (each dispatch batches internally); more
+        workers overlap independent batches.
+    default_deadline_s:
+        Deadline applied to requests submitted without an explicit one.
+        A request whose deadline expires while queued is answered with a
+        typed ``"timeout"`` response instead of being dispatched.  ``None``
+        means no deadline.
+    """
+
+    queue_capacity: int = 1024
+    backpressure: str = BACKPRESSURE_BLOCK
+    block_timeout_s: float | None = None
+    max_batch_size: int = 64
+    max_linger_ms: float = 2.0
+    n_workers: int = 1
+    default_deadline_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.queue_capacity < 1:
+            raise ConfigurationError(
+                f"queue_capacity must be >= 1, got {self.queue_capacity}"
+            )
+        if self.backpressure not in BACKPRESSURE_POLICIES:
+            raise ConfigurationError(
+                f"backpressure must be one of {BACKPRESSURE_POLICIES}, "
+                f"got {self.backpressure!r}"
+            )
+        if self.block_timeout_s is not None and self.block_timeout_s <= 0:
+            raise ConfigurationError(
+                f"block_timeout_s must be positive or None, got {self.block_timeout_s}"
+            )
+        if self.max_batch_size < 1:
+            raise ConfigurationError(
+                f"max_batch_size must be >= 1, got {self.max_batch_size}"
+            )
+        if self.max_linger_ms < 0:
+            raise ConfigurationError(
+                f"max_linger_ms must be >= 0, got {self.max_linger_ms}"
+            )
+        if self.n_workers < 1:
+            raise ConfigurationError(f"n_workers must be >= 1, got {self.n_workers}")
+        if self.default_deadline_s is not None and self.default_deadline_s <= 0:
+            raise ConfigurationError(
+                f"default_deadline_s must be positive or None, got {self.default_deadline_s}"
+            )
+
+
 @dataclass(frozen=True)
 class IngestParameters:
     """Parameters for the streaming ingest pipeline (:mod:`repro.ingest`).
@@ -420,6 +513,7 @@ class ExperimentParameters:
 
 
 DEFAULT_ESTIMATOR_PARAMETERS = EstimatorParameters()
+DEFAULT_FRONTEND_PARAMETERS = FrontendParameters()
 DEFAULT_PERSIST_PARAMETERS = PersistParameters()
 DEFAULT_SERVICE_PARAMETERS = ServiceParameters()
 DEFAULT_SIMULATION_PARAMETERS = SimulationParameters()

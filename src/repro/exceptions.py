@@ -52,6 +52,11 @@ class IngestError(ReproError):
     """Raised by the streaming ingest pipeline for invalid use or shutdown races."""
 
 
+class FrontendError(ReproError):
+    """Raised by the serving front-end for invalid use (not for shed traffic:
+    rejected, dropped, and timed-out requests get typed responses instead)."""
+
+
 class ConfigurationError(ReproError):
     """Raised for invalid parameter values in configuration objects."""
 

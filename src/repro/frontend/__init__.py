@@ -1,0 +1,68 @@
+"""The async serving front-end (admission, coalescing, backpressure, load).
+
+The subsystem that turns the :class:`~repro.service.CostEstimationService`
+library into a traffic-serving daemon:
+
+* :class:`ServingFrontend` -- lifecycle (``start`` / ``stop`` / ``drain``,
+  context manager), thread-safe ``submit_estimate`` / ``submit_route``
+  returning :class:`Ticket` futures, an ingest-side ``invalidate_edges``
+  coherence hook, and serving statistics;
+* :class:`AdmissionQueue` -- the bounded, multi-lane admission layer with
+  explicit backpressure policies (``block`` / ``reject`` / ``drop-oldest``)
+  surfaced as typed responses;
+* :class:`BatchCoalescer` -- drains the queue into kernel-sized,
+  lane-homogeneous batches (``max_batch_size`` / ``max_linger_ms``) so
+  concurrent callers share one batched service call;
+* :class:`Ticket` / :class:`FrontendResponse` -- the typed result model
+  (``ok`` / ``rejected`` / ``dropped`` / ``timeout`` / ``error``);
+* :class:`LoadGenerator` + :class:`PoissonArrivals` / :class:`BurstArrivals`
+  / :class:`LoadReport` -- the open-loop tail-latency harness;
+* :func:`percentiles` / :class:`FrontendStats` / :class:`DepthSampler` --
+  measurement primitives shared with the benchmark suite.
+"""
+
+from .admission import AdmissionQueue, OfferResult
+from .coalescer import BatchCoalescer, CoalescedBatch
+from .frontend import ServingFrontend
+from .loadgen import BurstArrivals, LoadGenerator, LoadReport, PoissonArrivals
+from .requests import (
+    LANE_ESTIMATE,
+    LANE_ROUTE,
+    LANES,
+    SHED_STATUSES,
+    STATUS_DROPPED,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_REJECTED,
+    STATUS_TIMEOUT,
+    FrontendResponse,
+    Ticket,
+)
+from .stats import DepthSampler, FrontendStats, percentile_label, percentiles
+
+__all__ = [
+    "AdmissionQueue",
+    "BatchCoalescer",
+    "BurstArrivals",
+    "CoalescedBatch",
+    "DepthSampler",
+    "FrontendResponse",
+    "FrontendStats",
+    "LANE_ESTIMATE",
+    "LANE_ROUTE",
+    "LANES",
+    "LoadGenerator",
+    "LoadReport",
+    "OfferResult",
+    "PoissonArrivals",
+    "SHED_STATUSES",
+    "STATUS_DROPPED",
+    "STATUS_ERROR",
+    "STATUS_OK",
+    "STATUS_REJECTED",
+    "STATUS_TIMEOUT",
+    "ServingFrontend",
+    "Ticket",
+    "percentile_label",
+    "percentiles",
+]

@@ -1,0 +1,412 @@
+"""The serving front-end: admission, coalescing workers, lifecycle, stats.
+
+:class:`ServingFrontend` turns the :class:`~repro.service.CostEstimationService`
+*library* into a traffic-serving daemon: callers submit estimate and route
+requests from any number of threads and get :class:`~repro.frontend.Ticket`
+futures back; a bounded :class:`~repro.frontend.AdmissionQueue` applies the
+configured backpressure policy; persistent coalescer workers drain the
+queue into kernel-sized batches and dispatch them through the service's
+``submit_batch`` / ``route_batch`` -- so concurrent callers transparently
+share one batched kernel pass, which no closed-loop caller ever triggers.
+
+Coherence with live ingest is inherited, not reinvented: the front-end
+serves *through* the service, whose epoch guards already ensure that a
+batch computed concurrently with an
+:meth:`~repro.service.CostEstimationService.invalidate_edges` pass cannot
+re-insert stale entries into the caches.  :meth:`ServingFrontend.invalidate_edges`
+is the ingest pipeline's hook -- it delegates to the service (counting the
+pass in the front-end's stats), and in-flight batches stay correct because
+every answer they produce was computed against a consistent estimator
+family.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import TYPE_CHECKING, Iterable
+
+from ..config import FrontendParameters
+from ..exceptions import FrontendError
+from ..routing.engine import RouteRequest
+from ..service.requests import EstimateRequest
+from .admission import AdmissionQueue
+from .coalescer import BatchCoalescer, CoalescedBatch
+from .requests import (
+    LANE_ESTIMATE,
+    LANE_ROUTE,
+    STATUS_DROPPED,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_REJECTED,
+    STATUS_TIMEOUT,
+    FrontendResponse,
+    Ticket,
+)
+from .stats import FrontendStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..service.service import CostEstimationService, InvalidationReport
+
+#: How long an idle worker waits for traffic before re-checking its stop flag.
+_IDLE_WAIT_S = 0.05
+
+
+class ServingFrontend:
+    """A thread-pool daemon serving batched traffic over one estimation service.
+
+    Lifecycle: :meth:`start` spawns the coalescer workers, :meth:`drain`
+    blocks until every admitted request has been answered, :meth:`stop`
+    (optionally draining first) shuts the workers down and answers any
+    leftover backlog with typed ``"dropped"`` responses -- nothing is ever
+    silently lost.  The context-manager form (``with ServingFrontend(...)``)
+    drains on clean exit and sheds the backlog on exceptions.
+    """
+
+    def __init__(
+        self,
+        service: "CostEstimationService",
+        parameters: FrontendParameters | None = None,
+    ) -> None:
+        self.service = service
+        self.parameters = parameters or FrontendParameters()
+        self._queue: AdmissionQueue | None = None
+        self._workers: list[threading.Thread] = []
+        self._stop = threading.Event()
+        # Counters (guarded by the stats lock).
+        self._stats_lock = threading.Lock()
+        self._submitted = 0
+        self._ok = 0
+        self._rejected = 0
+        self._dropped = 0
+        self._timeouts = 0
+        self._errors = 0
+        self._batches = 0
+        self._batched_requests = 0
+        self._invalidations = 0
+        #: Admitted tickets not yet fulfilled; what drain() waits on.
+        self._pending = 0
+        self._quiescent = threading.Condition(self._stats_lock)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "ServingFrontend":
+        """Create the admission queue and spawn the coalescer workers."""
+        if self._workers:
+            raise FrontendError("the front-end is already started")
+        parameters = self.parameters
+        self._stop.clear()
+        self._queue = AdmissionQueue(
+            parameters.queue_capacity,
+            policy=parameters.backpressure,
+            block_timeout_s=parameters.block_timeout_s,
+        )
+        for index in range(parameters.n_workers):
+            worker = threading.Thread(
+                target=self._worker_loop,
+                name=f"frontend-worker-{index}",
+                daemon=True,
+            )
+            worker.start()
+            self._workers.append(worker)
+        return self
+
+    @property
+    def running(self) -> bool:
+        return bool(self._workers)
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Block until every admitted request has been answered.
+
+        Returns ``False`` if ``timeout`` elapsed first.  Draining cannot
+        deadlock under overload: the queue is bounded and the workers keep
+        consuming, so pending work strictly shrinks once submitters stop
+        (concurrent submitters naturally extend the drain -- it waits for
+        quiescence, not for a snapshot of the backlog).
+        """
+        if not self._workers:
+            raise FrontendError("cannot drain a front-end that is not started")
+        deadline = None if timeout is None else time.perf_counter() + timeout
+        with self._quiescent:
+            while self._pending > 0:
+                if deadline is None:
+                    self._quiescent.wait()
+                else:
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0 or not self._quiescent.wait(remaining):
+                        if self._pending <= 0:
+                            break
+                        return False
+        return True
+
+    def stop(self, drain: bool = True) -> None:
+        """Shut the workers down (draining the backlog first by default).
+
+        With ``drain=False`` the backlog is shed: every still-queued
+        ticket is answered with a typed ``"dropped"`` response.
+        """
+        if not self._workers:
+            return
+        if drain:
+            self.drain()
+        self._stop.set()
+        assert self._queue is not None
+        leftovers = self._queue.close()
+        for ticket in leftovers:
+            self._fulfill(
+                ticket,
+                STATUS_DROPPED,
+                detail="front-end stopped before this request was dispatched",
+            )
+        for worker in self._workers:
+            worker.join()
+        self._workers = []
+        self._queue = None
+
+    def __enter__(self) -> "ServingFrontend":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop(drain=exc_type is None)
+
+    # ------------------------------------------------------------------ #
+    # Submission
+    # ------------------------------------------------------------------ #
+    def submit_estimate(
+        self, request: EstimateRequest, deadline_s: float | None = None
+    ) -> Ticket:
+        """Admit one estimate request; returns its (possibly pre-shed) ticket."""
+        return self._submit(LANE_ESTIMATE, request, deadline_s)
+
+    def submit_route(
+        self, request: RouteRequest, deadline_s: float | None = None
+    ) -> Ticket:
+        """Admit one route request; returns its (possibly pre-shed) ticket."""
+        return self._submit(LANE_ROUTE, request, deadline_s)
+
+    def estimate(
+        self,
+        path,
+        departure_time_s: float,
+        method: str | None = None,
+        deadline_s: float | None = None,
+        timeout: float | None = None,
+    ) -> FrontendResponse:
+        """Blocking convenience: submit one estimate and wait for its response."""
+        request = EstimateRequest(path=path, departure_time_s=departure_time_s, method=method)
+        return self.submit_estimate(request, deadline_s=deadline_s).result(timeout)
+
+    def route(
+        self,
+        request: RouteRequest,
+        deadline_s: float | None = None,
+        timeout: float | None = None,
+    ) -> FrontendResponse:
+        """Blocking convenience: submit one route query and wait for its response."""
+        return self.submit_route(request, deadline_s=deadline_s).result(timeout)
+
+    def _submit(
+        self,
+        lane: str,
+        request: "EstimateRequest | RouteRequest",
+        deadline_s: float | None,
+    ) -> Ticket:
+        queue = self._queue
+        if queue is None:
+            raise FrontendError("the front-end is not started; call start() or use `with`")
+        expected = EstimateRequest if lane == LANE_ESTIMATE else RouteRequest
+        if not isinstance(request, expected):
+            raise FrontendError(
+                f"the {lane} lane takes {expected.__name__}, got {type(request).__name__}"
+            )
+        if deadline_s is None:
+            deadline_s = self.parameters.default_deadline_s
+        if deadline_s is not None and deadline_s <= 0:
+            raise FrontendError(f"deadline_s must be positive or None, got {deadline_s}")
+        ticket = Ticket(lane, request, deadline_s=deadline_s)
+        with self._stats_lock:
+            self._submitted += 1
+            # Optimistically pending: resolved by _fulfill, or rolled back
+            # if the offer itself fails (shutdown race).
+            self._pending += 1
+        try:
+            offered = queue.offer(ticket)
+        except FrontendError:
+            with self._quiescent:
+                self._submitted -= 1
+                self._pending -= 1
+                if self._pending <= 0:
+                    self._quiescent.notify_all()
+            raise
+        if offered.dropped is not None:
+            self._fulfill(
+                offered.dropped,
+                STATUS_DROPPED,
+                detail=(
+                    f"shed by drop-oldest: {lane} lane full at {queue.capacity}"
+                ),
+            )
+        if not offered.admitted:
+            self._fulfill(
+                ticket,
+                STATUS_REJECTED,
+                detail=f"{lane} lane full at {queue.capacity} ({queue.policy})",
+            )
+        return ticket
+
+    # ------------------------------------------------------------------ #
+    # Ingest coherence hook
+    # ------------------------------------------------------------------ #
+    def invalidate_edges(self, edge_ids: Iterable[int]) -> "InvalidationReport":
+        """Apply an edge-dirty invalidation pass to the underlying service.
+
+        The write path's hook (:class:`~repro.ingest.TrajectoryIngestPipeline`
+        calls this when constructed with a ``frontend``): live appends stay
+        coherent with in-flight batches because the service's epoch guard
+        is bumped *before* entries are dropped -- a batch computed against
+        the old state can complete (its answers were correct when
+        computed) but can no longer re-populate the caches.
+        """
+        report = self.service.invalidate_edges(edge_ids)
+        with self._stats_lock:
+            self._invalidations += 1
+        return report
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def queue_depth(self, lane: str | None = None) -> int:
+        """Tickets currently queued (0 when stopped)."""
+        queue = self._queue
+        return 0 if queue is None else queue.depth(lane)
+
+    def stats(self) -> FrontendStats:
+        """A consistent snapshot of the serving counters."""
+        queue = self._queue
+        queue_stats = queue.stats() if queue is not None else {"depth": 0, "max_depth": 0}
+        with self._stats_lock:
+            resolved = (
+                self._ok + self._rejected + self._dropped + self._timeouts + self._errors
+            )
+            return FrontendStats(
+                submitted=self._submitted,
+                ok=self._ok,
+                rejected=self._rejected,
+                dropped=self._dropped,
+                timeouts=self._timeouts,
+                errors=self._errors,
+                batches=self._batches,
+                batched_requests=self._batched_requests,
+                queue_depth=queue_stats["depth"],
+                max_queue_depth=queue_stats["max_depth"],
+                in_flight=max(self._pending - queue_stats["depth"], 0),
+                invalidations=self._invalidations,
+            )
+
+    # ------------------------------------------------------------------ #
+    # Workers
+    # ------------------------------------------------------------------ #
+    def _worker_loop(self) -> None:
+        assert self._queue is not None
+        coalescer = BatchCoalescer(
+            self._queue,
+            max_batch_size=self.parameters.max_batch_size,
+            max_linger_ms=self.parameters.max_linger_ms,
+        )
+        while True:
+            try:
+                batch = coalescer.next_batch(wait_timeout_s=_IDLE_WAIT_S)
+            except Exception:  # pragma: no cover - defensive
+                if self._stop.is_set():
+                    return
+                continue
+            if batch is None:
+                if self._stop.is_set():
+                    return
+                continue
+            self._serve_batch(batch)
+
+    def _serve_batch(self, batch: CoalescedBatch) -> None:
+        """Answer one coalesced batch: timeouts typed, live tickets dispatched."""
+        for ticket in batch.expired:
+            self._fulfill(
+                ticket,
+                STATUS_TIMEOUT,
+                detail="deadline expired while queued",
+                batch_size=0,
+            )
+        if not batch.live:
+            return
+        requests = [ticket.request for ticket in batch.live]
+        size = len(batch.live)
+        try:
+            if batch.lane == LANE_ESTIMATE:
+                responses = self.service.submit_batch(requests)
+            else:
+                responses = self.service.route_batch(requests)
+        except Exception as error:
+            detail = f"{type(error).__name__}: {error}"
+            for ticket, queue_time in zip(batch.live, batch.queue_times_s):
+                self._fulfill(
+                    ticket,
+                    STATUS_ERROR,
+                    detail=detail,
+                    queue_time_s=queue_time,
+                    batch_size=size,
+                )
+            with self._stats_lock:
+                self._batches += 1
+                self._batched_requests += size
+            return
+        for ticket, response, queue_time in zip(batch.live, responses, batch.queue_times_s):
+            self._fulfill(
+                ticket,
+                STATUS_OK,
+                response=response,
+                queue_time_s=queue_time,
+                batch_size=size,
+            )
+        with self._stats_lock:
+            self._batches += 1
+            self._batched_requests += size
+
+    def _fulfill(
+        self,
+        ticket: Ticket,
+        status: str,
+        response=None,
+        detail: str | None = None,
+        queue_time_s: float | None = None,
+        batch_size: int = 0,
+    ) -> None:
+        """Resolve one ticket and update the counters/quiescence signal."""
+        ticket._fulfill(
+            status,
+            response=response,
+            detail=detail,
+            queue_time_s=queue_time_s,
+            batch_size=batch_size,
+        )
+        with self._quiescent:
+            if status == STATUS_OK:
+                self._ok += 1
+            elif status == STATUS_REJECTED:
+                self._rejected += 1
+            elif status == STATUS_DROPPED:
+                self._dropped += 1
+            elif status == STATUS_TIMEOUT:
+                self._timeouts += 1
+            else:
+                self._errors += 1
+            self._pending -= 1
+            if self._pending <= 0:
+                self._quiescent.notify_all()
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        state = "running" if self.running else "stopped"
+        stats = self.stats()
+        return (
+            f"ServingFrontend({state}, submitted={stats.submitted}, ok={stats.ok}, "
+            f"shed={stats.shed}, depth={stats.queue_depth})"
+        )

@@ -1,0 +1,281 @@
+"""Open-loop load generation and tail-latency measurement.
+
+Closed-loop benchmarks (issue a query, wait, repeat) can only report
+throughput: the next request politely waits for the previous answer, so
+queueing never happens and tail latency is invisible.  Real traffic is
+*open-loop* -- arrivals happen on the world's schedule, not the server's.
+This module generates such schedules (:class:`PoissonArrivals` for
+memoryless traffic, :class:`BurstArrivals` for synchronized spikes),
+drives a :class:`~repro.frontend.ServingFrontend` at a configured offered
+rate with per-request timestamps, and summarises the outcome as a
+:class:`LoadReport`: p50/p95/p99/p999 latency, achieved vs. offered
+throughput, shed/timeout counts, batch-size distribution, and a
+queue-depth time series.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from ..exceptions import FrontendError
+from ..routing.engine import RouteRequest
+from ..service.requests import EstimateRequest
+from .requests import (
+    STATUS_DROPPED,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_REJECTED,
+    STATUS_TIMEOUT,
+    Ticket,
+)
+from .stats import DEFAULT_PERCENTILE_POINTS, DepthSampler, percentiles
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .frontend import ServingFrontend
+
+#: Gaps shorter than this are not slept away: ``time.sleep`` granularity is
+#: of this order, and an open-loop generator that is behind schedule must
+#: catch up by submitting immediately, not by oversleeping.
+_MIN_SLEEP_S = 5e-4
+
+
+@dataclass(frozen=True)
+class PoissonArrivals:
+    """Memoryless arrivals at ``rate_qps``: i.i.d. exponential gaps."""
+
+    rate_qps: float
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.rate_qps > 0:
+            raise FrontendError(f"rate_qps must be positive, got {self.rate_qps}")
+
+    def offsets(self, duration_s: float) -> np.ndarray:
+        """Sorted arrival offsets (seconds) within ``[0, duration_s)``."""
+        if not duration_s > 0:
+            raise FrontendError(f"duration_s must be positive, got {duration_s}")
+        rng = np.random.default_rng(self.seed)
+        expected = self.rate_qps * duration_s
+        # Draw enough gaps that running short is a 5-sigma event, then clip.
+        n_draw = int(expected + 5.0 * np.sqrt(expected) + 16)
+        gaps = rng.exponential(1.0 / self.rate_qps, size=n_draw)
+        arrivals = np.cumsum(gaps)
+        arrivals = arrivals[arrivals < duration_s]
+        while arrivals.size == 0 or arrivals[-1] < duration_s - 3.0 / self.rate_qps:
+            extra = np.cumsum(rng.exponential(1.0 / self.rate_qps, size=n_draw))
+            arrivals = np.concatenate(
+                [arrivals, (arrivals[-1] if arrivals.size else 0.0) + extra]
+            )
+            arrivals = arrivals[arrivals < duration_s]
+            if arrivals.size >= expected:  # pragma: no cover - safety valve
+                break
+        return arrivals
+
+
+@dataclass(frozen=True)
+class BurstArrivals:
+    """Synchronized spikes: ``burst_size`` simultaneous arrivals per burst.
+
+    The average offered rate is still ``rate_qps``; the traffic simply
+    arrives ``burst_size`` at a time, every ``burst_size / rate_qps``
+    seconds -- the worst case for queueing and the best case for
+    coalescing.
+    """
+
+    rate_qps: float
+    burst_size: int = 32
+
+    def __post_init__(self) -> None:
+        if not self.rate_qps > 0:
+            raise FrontendError(f"rate_qps must be positive, got {self.rate_qps}")
+        if self.burst_size < 1:
+            raise FrontendError(f"burst_size must be >= 1, got {self.burst_size}")
+
+    def offsets(self, duration_s: float) -> np.ndarray:
+        if not duration_s > 0:
+            raise FrontendError(f"duration_s must be positive, got {duration_s}")
+        period_s = self.burst_size / self.rate_qps
+        n_bursts = max(int(duration_s / period_s), 1)
+        burst_times = np.arange(n_bursts) * period_s
+        return np.repeat(burst_times, self.burst_size)
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """What an open-loop run measured (the latency harness's output).
+
+    Latency percentiles cover ``"ok"`` responses only; shed responses are
+    counted, not averaged in -- a rejection in microseconds must not make
+    the tail look fast.
+    """
+
+    offered_qps: float
+    duration_s: float
+    elapsed_s: float
+    n_submitted: int
+    n_ok: int
+    n_rejected: int
+    n_dropped: int
+    n_timeout: int
+    n_error: int
+    achieved_qps: float
+    latency_percentiles_ms: dict[str, float]
+    queue_time_percentiles_ms: dict[str, float]
+    mean_batch_size: float
+    max_batch_size: int
+    max_queue_depth: int
+    queue_depth_series: tuple[tuple[float, int], ...] = field(default=())
+
+    @property
+    def n_shed(self) -> int:
+        return self.n_rejected + self.n_dropped + self.n_timeout
+
+    def to_dict(self, depth_series_limit: int = 200) -> dict:
+        """A JSON-ready summary (depth series downsampled to ``limit`` points)."""
+        series = list(self.queue_depth_series)
+        if depth_series_limit and len(series) > depth_series_limit:
+            stride = max(len(series) // depth_series_limit, 1)
+            series = series[::stride]
+        return {
+            "offered_qps": self.offered_qps,
+            "achieved_qps": self.achieved_qps,
+            "duration_s": self.duration_s,
+            "elapsed_s": self.elapsed_s,
+            "n_submitted": self.n_submitted,
+            "n_ok": self.n_ok,
+            "n_rejected": self.n_rejected,
+            "n_dropped": self.n_dropped,
+            "n_timeout": self.n_timeout,
+            "n_error": self.n_error,
+            "n_shed": self.n_shed,
+            "latency_percentiles_ms": self.latency_percentiles_ms,
+            "queue_time_percentiles_ms": self.queue_time_percentiles_ms,
+            "mean_batch_size": self.mean_batch_size,
+            "max_batch_size": self.max_batch_size,
+            "max_queue_depth": self.max_queue_depth,
+            "queue_depth_series": [[round(t, 4), d] for t, d in series],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        p50 = self.latency_percentiles_ms.get("p50", float("nan"))
+        p99 = self.latency_percentiles_ms.get("p99", float("nan"))
+        return (
+            f"LoadReport(offered={self.offered_qps:.0f} QPS, "
+            f"achieved={self.achieved_qps:.0f} QPS, ok={self.n_ok}, "
+            f"shed={self.n_shed}, p50={p50:.2f}ms, p99={p99:.2f}ms, "
+            f"mean_batch={self.mean_batch_size:.1f})"
+        )
+
+
+class LoadGenerator:
+    """Drives a front-end with an open-loop request schedule.
+
+    ``requests`` is the workload to cycle through (estimate and route
+    requests may be mixed; each is routed to its lane).  The generator
+    submits on the arrival process's schedule regardless of how fast the
+    server answers -- when it falls behind the schedule it catches up by
+    submitting immediately, preserving the offered *count*.
+    """
+
+    def __init__(
+        self,
+        frontend: "ServingFrontend",
+        requests: Sequence["EstimateRequest | RouteRequest"],
+        arrivals: "PoissonArrivals | BurstArrivals",
+        duration_s: float,
+        deadline_s: float | None = None,
+        depth_sample_interval_s: float = 0.01,
+    ) -> None:
+        if not requests:
+            raise FrontendError("the load generator needs a non-empty workload")
+        for request in requests:
+            if not isinstance(request, (EstimateRequest, RouteRequest)):
+                raise FrontendError(
+                    "workload items must be EstimateRequest or RouteRequest, got "
+                    f"{type(request).__name__}"
+                )
+        if not duration_s > 0:
+            raise FrontendError(f"duration_s must be positive, got {duration_s}")
+        self.frontend = frontend
+        self.requests = list(requests)
+        self.arrivals = arrivals
+        self.duration_s = duration_s
+        self.deadline_s = deadline_s
+        self.depth_sample_interval_s = depth_sample_interval_s
+
+    def run(self) -> LoadReport:
+        """Submit the whole schedule, wait for quiescence, and summarise."""
+        frontend = self.frontend
+        offsets = self.arrivals.offsets(self.duration_s)
+        workload = self.requests
+        n_workload = len(workload)
+        tickets: list[Ticket] = []
+        sampler = DepthSampler(frontend.queue_depth, self.depth_sample_interval_s)
+        sampler.start()
+        started = time.perf_counter()
+        try:
+            for index in range(offsets.size):
+                wait = started + offsets[index] - time.perf_counter()
+                if wait > _MIN_SLEEP_S:
+                    time.sleep(wait)
+                request = workload[index % n_workload]
+                if isinstance(request, EstimateRequest):
+                    ticket = frontend.submit_estimate(request, deadline_s=self.deadline_s)
+                else:
+                    ticket = frontend.submit_route(request, deadline_s=self.deadline_s)
+                tickets.append(ticket)
+            frontend.drain()
+        finally:
+            depth_series = sampler.stop()
+        elapsed = time.perf_counter() - started
+        return self._summarise(tickets, depth_series, elapsed)
+
+    def _summarise(
+        self,
+        tickets: list[Ticket],
+        depth_series: list[tuple[float, int]],
+        elapsed_s: float,
+    ) -> LoadReport:
+        counts = {
+            STATUS_OK: 0,
+            STATUS_REJECTED: 0,
+            STATUS_DROPPED: 0,
+            STATUS_TIMEOUT: 0,
+            STATUS_ERROR: 0,
+        }
+        ok_latencies_ms: list[float] = []
+        ok_queue_times_ms: list[float] = []
+        batch_sizes: list[int] = []
+        for ticket in tickets:
+            response = ticket.result(timeout=30.0)
+            counts[response.status] += 1
+            if response.status == STATUS_OK:
+                ok_latencies_ms.append(response.latency_s * 1e3)
+                ok_queue_times_ms.append(response.queue_time_s * 1e3)
+                batch_sizes.append(response.batch_size)
+        offered_qps = len(tickets) / self.duration_s
+        achieved_qps = counts[STATUS_OK] / elapsed_s if elapsed_s > 0 else 0.0
+        return LoadReport(
+            offered_qps=offered_qps,
+            duration_s=self.duration_s,
+            elapsed_s=elapsed_s,
+            n_submitted=len(tickets),
+            n_ok=counts[STATUS_OK],
+            n_rejected=counts[STATUS_REJECTED],
+            n_dropped=counts[STATUS_DROPPED],
+            n_timeout=counts[STATUS_TIMEOUT],
+            n_error=counts[STATUS_ERROR],
+            achieved_qps=achieved_qps,
+            latency_percentiles_ms=percentiles(ok_latencies_ms, DEFAULT_PERCENTILE_POINTS),
+            queue_time_percentiles_ms=percentiles(
+                ok_queue_times_ms, DEFAULT_PERCENTILE_POINTS
+            ),
+            mean_batch_size=float(np.mean(batch_sizes)) if batch_sizes else 0.0,
+            max_batch_size=int(max(batch_sizes)) if batch_sizes else 0,
+            max_queue_depth=max((depth for _, depth in depth_series), default=0),
+            queue_depth_series=tuple(depth_series),
+        )

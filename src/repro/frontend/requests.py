@@ -1,0 +1,208 @@
+"""Typed tickets and responses of the serving front-end.
+
+A client submits an :class:`~repro.service.EstimateRequest` or a
+:class:`~repro.routing.RouteRequest` to the front-end and immediately
+receives a :class:`Ticket` -- a small future that resolves to a
+:class:`FrontendResponse` once a coalescer worker has dispatched the
+request (or the admission layer has shed it).
+
+Every outcome is a *typed response*, never an exception on the serving
+path: overload produces ``"rejected"`` / ``"dropped"`` responses, an
+expired deadline produces ``"timeout"``, and a dispatch failure produces
+``"error"`` with the failure detail.  Only misuse of the API itself (e.g.
+submitting to a stopped front-end) raises
+:class:`~repro.exceptions.FrontendError`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from ..exceptions import FrontendError
+from ..routing.engine import RouteRequest, RouteResponse
+from ..service.requests import EstimateRequest, EstimateResponse
+
+#: Admission lanes: estimate and route requests queue (and batch) separately,
+#: so each lane feeds its own kernel-sized batch call.
+LANE_ESTIMATE = "estimate"
+LANE_ROUTE = "route"
+LANES = (LANE_ESTIMATE, LANE_ROUTE)
+
+#: Response statuses.  ``"ok"`` carries a service response; the rest are the
+#: typed shed/failure outcomes.
+STATUS_OK = "ok"
+STATUS_REJECTED = "rejected"
+STATUS_DROPPED = "dropped"
+STATUS_TIMEOUT = "timeout"
+STATUS_ERROR = "error"
+SHED_STATUSES = (STATUS_REJECTED, STATUS_DROPPED, STATUS_TIMEOUT)
+
+
+@dataclass(frozen=True)
+class FrontendResponse:
+    """The final outcome of one request submitted to the front-end.
+
+    Attributes
+    ----------
+    status:
+        ``"ok"``, ``"rejected"`` (admission queue full under the
+        ``reject`` policy), ``"dropped"`` (shed by ``drop-oldest``),
+        ``"timeout"`` (deadline expired while queued), or ``"error"``
+        (the dispatch raised; see ``detail``).
+    lane:
+        ``"estimate"`` or ``"route"``.
+    response:
+        The underlying :class:`~repro.service.EstimateResponse` or
+        :class:`~repro.routing.RouteResponse` when ``status == "ok"``,
+        else ``None``.
+    detail:
+        Human-readable explanation for non-``ok`` statuses.
+    latency_s:
+        Submit-to-completion wall time (queueing + batching + service).
+    queue_time_s:
+        Time spent in the admission queue before a worker picked the
+        request up (for shed requests: time until the shed decision).
+    batch_size:
+        Size of the coalesced batch this request was dispatched in
+        (``0`` for requests that never reached a dispatch).
+    """
+
+    status: str
+    lane: str
+    response: "EstimateResponse | RouteResponse | None"
+    detail: str | None
+    latency_s: float
+    queue_time_s: float
+    batch_size: int
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    @property
+    def shed(self) -> bool:
+        """True when the request was shed (rejected, dropped, or timed out)."""
+        return self.status in SHED_STATUSES
+
+    @property
+    def estimate(self):
+        """The wrapped :class:`~repro.core.estimator.CostEstimate` (ok estimates only)."""
+        if not isinstance(self.response, EstimateResponse):
+            raise FrontendError(f"no estimate on a {self.status!r} {self.lane} response")
+        return self.response.estimate
+
+    @property
+    def result(self):
+        """The wrapped :class:`~repro.routing.RouteResult` (ok routes only)."""
+        if not isinstance(self.response, RouteResponse):
+            raise FrontendError(f"no route result on a {self.status!r} {self.lane} response")
+        return self.response.result
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"FrontendResponse({self.lane}, status={self.status!r}, "
+            f"batch={self.batch_size}, latency={self.latency_s * 1e3:.2f}ms)"
+        )
+
+
+class Ticket:
+    """A pending front-end request: resolves to one :class:`FrontendResponse`.
+
+    Created by :meth:`~repro.frontend.ServingFrontend.submit_estimate` /
+    ``submit_route`` at admission time and fulfilled exactly once -- by a
+    coalescer worker (dispatch, timeout) or by the admission layer itself
+    (reject, drop).  ``submitted_at_s`` / ``deadline_at_s`` are
+    ``time.perf_counter()`` readings, so deadline math is monotonic.
+    """
+
+    __slots__ = (
+        "lane",
+        "request",
+        "submitted_at_s",
+        "deadline_at_s",
+        "_lock",
+        "_event",
+        "_response",
+    )
+
+    def __init__(
+        self,
+        lane: str,
+        request: "EstimateRequest | RouteRequest",
+        deadline_s: float | None = None,
+    ) -> None:
+        if lane not in LANES:
+            raise FrontendError(f"lane must be one of {LANES}, got {lane!r}")
+        self.lane = lane
+        self.request = request
+        self.submitted_at_s = time.perf_counter()
+        self.deadline_at_s = (
+            None if deadline_s is None else self.submitted_at_s + deadline_s
+        )
+        self._lock = threading.Lock()
+        self._event: threading.Event | None = None
+        self._response: FrontendResponse | None = None
+
+    def done(self) -> bool:
+        return self._response is not None
+
+    def expired(self, now_s: float | None = None) -> bool:
+        """Whether the ticket's deadline has passed (never, without one)."""
+        if self.deadline_at_s is None:
+            return False
+        return (time.perf_counter() if now_s is None else now_s) >= self.deadline_at_s
+
+    def result(self, timeout: float | None = None) -> FrontendResponse:
+        """Block until the response is available (or ``timeout`` elapses)."""
+        response = self._response
+        if response is not None:
+            return response
+        with self._lock:
+            response = self._response
+            if response is not None:
+                return response
+            if self._event is None:
+                self._event = threading.Event()
+            event = self._event
+        if not event.wait(timeout):
+            raise FrontendError(f"ticket not fulfilled within {timeout}s")
+        assert self._response is not None
+        return self._response
+
+    # ------------------------------------------------------------------ #
+    # Fulfilment (front-end internals)
+    # ------------------------------------------------------------------ #
+    def _fulfill(
+        self,
+        status: str,
+        response: "EstimateResponse | RouteResponse | None" = None,
+        detail: str | None = None,
+        queue_time_s: float | None = None,
+        batch_size: int = 0,
+    ) -> FrontendResponse:
+        """Resolve the ticket (exactly once) and wake any waiter."""
+        now = time.perf_counter()
+        resolved = FrontendResponse(
+            status=status,
+            lane=self.lane,
+            response=response,
+            detail=detail,
+            latency_s=now - self.submitted_at_s,
+            queue_time_s=(
+                now - self.submitted_at_s if queue_time_s is None else queue_time_s
+            ),
+            batch_size=batch_size,
+        )
+        with self._lock:
+            if self._response is not None:  # pragma: no cover - defensive
+                raise FrontendError("ticket fulfilled twice")
+            self._response = resolved
+            if self._event is not None:
+                self._event.set()
+        return resolved
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        state = self._response.status if self._response is not None else "pending"
+        return f"Ticket({self.lane}, {state})"

@@ -1,0 +1,141 @@
+"""Serving statistics: percentile summaries, front-end counters, depth sampling.
+
+:func:`percentiles` is the single percentile implementation shared by the
+front-end's latency reporting and the benchmark harness
+(``benchmarks/_bench_utils.percentiles`` delegates here), so p-values in
+committed results and in live stats are computed identically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+#: The tail points the latency harness reports by default.
+DEFAULT_PERCENTILE_POINTS = (50.0, 95.0, 99.0, 99.9)
+
+
+def percentile_label(point: float) -> str:
+    """``50 -> "p50"``, ``99.9 -> "p999"`` (the conventional latency names)."""
+    text = f"{point:g}".replace(".", "")
+    return f"p{text}"
+
+
+def percentiles(
+    values: Iterable[float],
+    points: Sequence[float] = DEFAULT_PERCENTILE_POINTS,
+) -> dict[str, float]:
+    """Named percentiles of ``values``: ``{"p50": ..., "p95": ..., ...}``.
+
+    Linear interpolation between order statistics (numpy's default), so
+    small samples still produce stable, monotone tails.  An empty input
+    returns an empty dict -- callers treat "no report" and "no data" the
+    same way.
+    """
+    data = np.asarray(list(values), dtype=np.float64)
+    if data.size == 0:
+        return {}
+    for point in points:
+        if not 0.0 <= point <= 100.0:
+            raise ValueError(f"percentile points must be in [0, 100], got {point}")
+    results = np.percentile(data, points)
+    return {percentile_label(point): float(value) for point, value in zip(points, results)}
+
+
+@dataclass(frozen=True)
+class FrontendStats:
+    """A point-in-time snapshot of the front-end's serving counters.
+
+    ``submitted = ok + rejected + dropped + timeouts + errors + in_flight
+    + queue_depth`` once traffic stops (every ticket resolves exactly
+    once); while serving, the difference is work still in the pipe.
+    """
+
+    submitted: int
+    ok: int
+    rejected: int
+    dropped: int
+    timeouts: int
+    errors: int
+    batches: int
+    batched_requests: int
+    queue_depth: int
+    max_queue_depth: int
+    in_flight: int
+    #: Edge-dirty invalidation passes routed through the front-end (the
+    #: ingest pipeline's coherence hook).
+    invalidations: int = 0
+
+    @property
+    def shed(self) -> int:
+        """Requests answered with a typed shed response instead of service work."""
+        return self.rejected + self.dropped + self.timeouts
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Mean coalesced batch size (0.0 before the first dispatch)."""
+        if self.batches == 0:
+            return 0.0
+        return self.batched_requests / self.batches
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"FrontendStats(submitted={self.submitted}, ok={self.ok}, "
+            f"shed={self.shed}, errors={self.errors}, "
+            f"mean_batch={self.mean_batch_size:.1f}, "
+            f"depth={self.queue_depth}/{self.max_queue_depth} max)"
+        )
+
+
+class DepthSampler:
+    """Samples a depth gauge on a background thread: a queue-depth time series.
+
+    The latency harness runs one of these against
+    :meth:`ServingFrontend.queue_depth` while the load generator drives
+    traffic; the resulting ``(elapsed_s, depth)`` series is what shows
+    bounded queues under overload (and is persisted into the benchmark
+    JSON).
+    """
+
+    def __init__(self, gauge: Callable[[], int], interval_s: float = 0.01) -> None:
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be positive, got {interval_s}")
+        self._gauge = gauge
+        self._interval_s = interval_s
+        self._samples: list[tuple[float, int]] = []
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._started_at = 0.0
+
+    def start(self) -> "DepthSampler":
+        if self._thread is not None:
+            raise RuntimeError("sampler already started")
+        self._started_at = time.perf_counter()
+        self._thread = threading.Thread(target=self._run, name="depth-sampler", daemon=True)
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval_s):
+            self._samples.append(
+                (time.perf_counter() - self._started_at, int(self._gauge()))
+            )
+
+    def stop(self) -> list[tuple[float, int]]:
+        """Stop sampling and return the ``(elapsed_s, depth)`` series."""
+        if self._thread is None:
+            return []
+        self._stop.set()
+        self._thread.join()
+        self._thread = None
+        return list(self._samples)
+
+    def __enter__(self) -> "DepthSampler":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

@@ -60,6 +60,7 @@ from .results import (
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.hybrid_graph import HybridGraph
     from ..core.instantiation import HybridGraphBuilder
+    from ..frontend.frontend import ServingFrontend
     from ..service.service import CostEstimationService, InvalidationReport
     from ..trajectories.mapmatching import HMMMapMatcher
 
@@ -91,6 +92,12 @@ class TrajectoryIngestPipeline:
     service:
         The estimation service whose caches track the store.  Optional: a
         detached pipeline just maintains the store.
+    frontend:
+        A :class:`~repro.frontend.ServingFrontend` wrapping the service.
+        When given, invalidation passes are routed through
+        :meth:`~repro.frontend.ServingFrontend.invalidate_edges` so the
+        front-end's serving statistics count them; ``service`` may then be
+        omitted (it is taken from the front-end).
     builder_factory:
         Zero-argument callable returning a *fresh*
         :class:`~repro.core.instantiation.HybridGraphBuilder`; required for
@@ -115,6 +122,7 @@ class TrajectoryIngestPipeline:
         store: MutableTrajectoryStore,
         matcher: "HMMMapMatcher | None" = None,
         service: "CostEstimationService | None" = None,
+        frontend: "ServingFrontend | None" = None,
         builder_factory: "Callable[[], HybridGraphBuilder] | None" = None,
         parameters: IngestParameters | None = None,
         persist_dir: "str | FSPath | None" = None,
@@ -125,9 +133,18 @@ class TrajectoryIngestPipeline:
                 "the ingest pipeline needs a MutableTrajectoryStore, got "
                 f"{type(store).__name__}"
             )
+        if frontend is not None:
+            if service is None:
+                service = frontend.service
+            elif service is not frontend.service:
+                raise IngestError(
+                    "frontend wraps a different service than the one passed in; "
+                    "pass either, not two disagreeing ones"
+                )
         self.store = store
         self.matcher = matcher
         self.service = service
+        self.frontend = frontend
         self.parameters = parameters or IngestParameters()
         self._builder_factory = builder_factory
         # Commit lock: serialises append + invalidate + counter updates so
@@ -596,7 +613,7 @@ class TrajectoryIngestPipeline:
             invalidation = None
             rewarmed = 0
             if self.service is not None and self.parameters.invalidate_on_append and dirty:
-                invalidation = self.service.invalidate_edges(dirty)
+                invalidation = self._invalidate(dirty)
                 self._record_invalidation(invalidation)
                 if self.parameters.rewarm_invalidated and invalidation.result_keys:
                     rewarmed = self._rewarm(invalidation.result_keys)
@@ -615,6 +632,18 @@ class TrajectoryIngestPipeline:
             ):
                 self._save_snapshot_locked(None, full=False)
             return dirty, invalidation, rewarmed
+
+    def _invalidate(self, dirty: set[int]) -> "InvalidationReport":
+        """One targeted invalidation pass, through the front-end when attached.
+
+        Routing through :meth:`ServingFrontend.invalidate_edges` keeps the
+        front-end's coherence counter honest; the cache semantics are the
+        service's either way.
+        """
+        assert self.service is not None
+        if self.frontend is not None:
+            return self.frontend.invalidate_edges(dirty)
+        return self.service.invalidate_edges(dirty)
 
     def _record_invalidation(self, invalidation: "InvalidationReport") -> None:
         self._invalidated_results += len(invalidation.result_keys)

@@ -6,6 +6,15 @@ requests, or requests that collapse onto the same cache key because they
 fall into the same alpha-interval.  The executor runs each distinct piece
 of work exactly once and shares the result with every requester.
 
+The thread pool is *persistent*: it is created lazily on the first parallel
+``execute`` and reused for every subsequent batch.  Creating a
+``ThreadPoolExecutor`` per batch (the previous behaviour) costs thread
+spawns plus teardown on every call -- roughly a millisecond per batch,
+which under the serving front-end's small coalesced batches was comparable
+to the work itself.  The pool grows if a later call asks for more workers
+and is torn down by :meth:`close` (the owning service calls it from its own
+``close``).
+
 Execution order is deterministic for the synchronous executor; with a
 thread pool the *results* are still deterministic for the deterministic
 ("coarsest") decomposition strategy because each work item is a pure
@@ -14,6 +23,7 @@ function of its key.
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Hashable, Mapping, TypeVar
@@ -28,29 +38,103 @@ class BatchExecutor:
     """Executes a mapping of keyed work items, each exactly once.
 
     ``max_workers == 0`` runs the work synchronously on the calling thread;
-    any larger value fans out on a :class:`ThreadPoolExecutor` of at most
-    that many threads.
+    any larger value fans out on a persistent :class:`ThreadPoolExecutor`
+    of at most that many threads (created on first use, reused across
+    batches).  A per-call override widens the pool if it asks for more
+    threads than the pool currently has.
+
+    Thread-safe: concurrent ``execute`` calls share the pool.  After
+    :meth:`close` the executor falls back to synchronous execution --
+    results stay correct, only the parallelism is gone.
     """
 
     def __init__(self, max_workers: int = 0) -> None:
         if max_workers < 0:
             raise ServiceError(f"max_workers must be >= 0, got {max_workers}")
         self.max_workers = max_workers
+        self._lock = threading.Lock()
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_size = 0
+        self._pools_created = 0
+        self._closed = False
+        self._batches = 0
+        self._items = 0
 
-    def execute(self, work: Mapping[K, Callable[[], V]]) -> dict[K, tuple[V, float]]:
+    def execute(
+        self,
+        work: Mapping[K, Callable[[], V]],
+        max_workers: int | None = None,
+    ) -> dict[K, tuple[V, float]]:
         """Run every thunk once; returns ``key -> (result, duration_s)``.
 
-        Exceptions raised by a thunk propagate to the caller (after the
-        pool, if any, has drained).
+        ``max_workers`` overrides the configured width for this batch
+        (``0`` forces synchronous execution).  Exceptions raised by a
+        thunk propagate to the caller (after the pool, if any, has
+        drained its futures).
         """
+        workers = self.max_workers if max_workers is None else max_workers
+        if workers < 0:
+            raise ServiceError(f"max_workers must be >= 0, got {workers}")
+        with self._lock:
+            self._batches += 1
+            self._items += len(work)
         if not work:
             return {}
-        if self.max_workers > 0 and len(work) > 1:
-            n_threads = min(self.max_workers, len(work))
-            with ThreadPoolExecutor(max_workers=n_threads) as pool:
+        if workers > 0 and len(work) > 1:
+            pool = self._ensure_pool(workers)
+            if pool is not None:
                 futures = {key: pool.submit(_timed, thunk) for key, thunk in work.items()}
                 return {key: future.result() for key, future in futures.items()}
         return {key: _timed(thunk) for key, thunk in work.items()}
+
+    def _ensure_pool(self, workers: int) -> ThreadPoolExecutor | None:
+        """The shared pool, grown to at least ``workers`` threads (None when closed)."""
+        with self._lock:
+            if self._closed:
+                return None
+            if self._pool is None or self._pool_size < workers:
+                old = self._pool
+                self._pool = ThreadPoolExecutor(
+                    max_workers=workers, thread_name_prefix="repro-batch"
+                )
+                self._pool_size = workers
+                self._pools_created += 1
+            else:
+                old = None
+        if old is not None:
+            # Outside the lock: in-flight futures on the old pool finish.
+            old.shutdown(wait=False)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent); later batches run synchronously."""
+        with self._lock:
+            self._closed = True
+            pool = self._pool
+            self._pool = None
+            self._pool_size = 0
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "BatchExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def stats(self) -> dict[str, int]:
+        """Usage counters: batches / items executed, pool size and rebuilds."""
+        with self._lock:
+            return {
+                "batches": self._batches,
+                "items": self._items,
+                "pool_size": self._pool_size,
+                "pools_created": self._pools_created,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        state = "closed" if self._closed else f"pool={self._pool_size}"
+        return f"BatchExecutor(max_workers={self.max_workers}, {state})"
 
 
 def _timed(thunk: Callable[[], V]) -> tuple[V, float]:

@@ -159,6 +159,9 @@ class CostEstimationService:
         self._computed = 0
         self._routes_served = 0
         self._routes_computed = 0
+        #: One persistent executor for every batched submit; the thread pool
+        #: inside is created lazily and torn down by :meth:`close`.
+        self._batch_executor = BatchExecutor(max_workers=self.parameters.max_workers)
 
     @classmethod
     def from_hybrid_graph(
@@ -198,6 +201,7 @@ class CostEstimationService:
             "result_cache": self._result_cache.stats(),
             "decomposition_cache": self._decomposition_cache.stats(),
             "route_cache": self._route_cache.stats(),
+            "batch_executor": self._batch_executor.stats(),
         }
 
     def result_cache_stats(self) -> CacheStats:
@@ -215,6 +219,20 @@ class CostEstimationService:
         self._result_cache.clear()
         self._decomposition_cache.clear()
         self._route_cache.clear()
+
+    def close(self) -> None:
+        """Release the batch executor's thread pool (idempotent).
+
+        The service stays usable afterwards -- batched submits simply run
+        synchronously -- so ``close`` is safe to call defensively.
+        """
+        self._batch_executor.close()
+
+    def __enter__(self) -> "CostEstimationService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     # Invalidation (the write path's hook into the read path)
@@ -430,14 +448,12 @@ class CostEstimationService:
                 continue
             scheduled[key] = (request.path, request.departure_time_s, method)
 
-        workers = self.parameters.max_workers if max_workers is None else max_workers
-        executor = BatchExecutor(max_workers=workers)
         epoch = self._epoch
         work = {
             key: (lambda k=key, q=query: self._compute(k, q[0], q[1], q[2], epoch))
             for key, query in scheduled.items()
         }
-        computed = executor.execute(work)
+        computed = self._batch_executor.execute(work, max_workers=max_workers)
         for key, ((estimate, source), _duration) in computed.items():
             self._result_cache.put(key, estimate, guard=lambda: self._epoch == epoch)
             if source == SOURCE_COMPUTED:

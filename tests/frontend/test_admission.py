@@ -1,0 +1,215 @@
+"""Tests for the bounded admission queue: policies, bounds, batching, close."""
+
+import threading
+import time
+
+import pytest
+
+from repro import EstimateRequest, FrontendError
+from repro.frontend import (
+    LANE_ESTIMATE,
+    LANE_ROUTE,
+    AdmissionQueue,
+    BatchCoalescer,
+    Ticket,
+)
+from repro.routing import ProbabilisticBudgetQuery, RouteRequest
+
+
+def make_ticket(estimate_requests, index=0, lane=LANE_ESTIMATE, deadline_s=None):
+    if lane == LANE_ESTIMATE:
+        request = estimate_requests[index % len(estimate_requests)]
+    else:
+        request = RouteRequest(0, 1, 8 * 3600.0, 600.0)
+    return Ticket(lane, request, deadline_s=deadline_s)
+
+
+class TestOffer:
+    def test_admits_until_capacity(self, estimate_requests):
+        queue = AdmissionQueue(capacity=3, policy="reject")
+        for index in range(3):
+            assert queue.offer(make_ticket(estimate_requests, index)).admitted
+        assert queue.depth(LANE_ESTIMATE) == 3
+
+    def test_reject_policy_returns_unadmitted(self, estimate_requests):
+        queue = AdmissionQueue(capacity=1, policy="reject")
+        assert queue.offer(make_ticket(estimate_requests)).admitted
+        result = queue.offer(make_ticket(estimate_requests, 1))
+        assert not result.admitted
+        assert result.dropped is None
+        # The queue reports the shed; it never fulfils the ticket itself.
+        assert queue.depth() == 1
+        assert queue.stats()["rejected"] == 1
+
+    def test_drop_oldest_returns_the_evicted_ticket(self, estimate_requests):
+        queue = AdmissionQueue(capacity=1, policy="drop-oldest")
+        first = make_ticket(estimate_requests, 0)
+        second = make_ticket(estimate_requests, 1)
+        assert queue.offer(first).admitted
+        result = queue.offer(second)
+        assert result.admitted
+        assert result.dropped is first
+        assert not first.done()  # still the caller's to answer
+        _, batch = queue.take_batch(8, wait_timeout_s=0.0)
+        assert batch == [second]
+
+    def test_block_policy_waits_for_room(self, estimate_requests):
+        queue = AdmissionQueue(capacity=1, policy="block")
+        assert queue.offer(make_ticket(estimate_requests)).admitted
+        admitted = []
+
+        def producer():
+            admitted.append(queue.offer(make_ticket(estimate_requests, 1)).admitted)
+
+        thread = threading.Thread(target=producer)
+        thread.start()
+        time.sleep(0.05)
+        assert not admitted  # still blocked on the full lane
+        queue.take_batch(1, wait_timeout_s=0.0)
+        thread.join(timeout=2.0)
+        assert admitted == [True]
+
+    def test_block_timeout_rejects(self, estimate_requests):
+        queue = AdmissionQueue(capacity=1, policy="block", block_timeout_s=0.02)
+        assert queue.offer(make_ticket(estimate_requests)).admitted
+        started = time.perf_counter()
+        result = queue.offer(make_ticket(estimate_requests, 1))
+        assert not result.admitted
+        assert time.perf_counter() - started >= 0.02
+
+    def test_lanes_are_bounded_independently(self, estimate_requests):
+        queue = AdmissionQueue(capacity=1, policy="reject")
+        assert queue.offer(make_ticket(estimate_requests)).admitted
+        assert queue.offer(make_ticket(estimate_requests, lane=LANE_ROUTE)).admitted
+        assert queue.depth(LANE_ESTIMATE) == 1
+        assert queue.depth(LANE_ROUTE) == 1
+
+    def test_offer_to_closed_queue_raises(self, estimate_requests):
+        queue = AdmissionQueue(capacity=4)
+        queue.close()
+        with pytest.raises(FrontendError):
+            queue.offer(make_ticket(estimate_requests))
+
+    def test_invalid_construction(self):
+        with pytest.raises(FrontendError):
+            AdmissionQueue(capacity=0)
+        with pytest.raises(FrontendError):
+            AdmissionQueue(capacity=4, policy="explode")
+
+
+class TestTakeBatch:
+    def test_lane_homogeneous_batches(self, estimate_requests):
+        queue = AdmissionQueue(capacity=16)
+        estimate = make_ticket(estimate_requests)
+        route = make_ticket(estimate_requests, lane=LANE_ROUTE)
+        queue.offer(estimate)
+        queue.offer(route)
+        lane_one, batch_one = queue.take_batch(8, wait_timeout_s=0.0)
+        lane_two, batch_two = queue.take_batch(8, wait_timeout_s=0.0)
+        assert {lane_one, lane_two} == {LANE_ESTIMATE, LANE_ROUTE}
+        assert len(batch_one) == len(batch_two) == 1
+        # The first batch served the oldest head (the estimate arrived first).
+        assert lane_one == LANE_ESTIMATE
+
+    def test_respects_max_batch(self, estimate_requests):
+        queue = AdmissionQueue(capacity=16)
+        for index in range(6):
+            queue.offer(make_ticket(estimate_requests, index))
+        _, batch = queue.take_batch(4, wait_timeout_s=0.0)
+        assert len(batch) == 4
+        assert queue.depth() == 2
+
+    def test_returns_none_when_empty(self):
+        queue = AdmissionQueue(capacity=4)
+        assert queue.take_batch(4, wait_timeout_s=0.01) is None
+
+    def test_linger_collects_stragglers(self, estimate_requests):
+        queue = AdmissionQueue(capacity=16)
+        queue.offer(make_ticket(estimate_requests))
+
+        def late_arrival():
+            time.sleep(0.02)
+            queue.offer(make_ticket(estimate_requests, 1))
+
+        thread = threading.Thread(target=late_arrival)
+        thread.start()
+        _, batch = queue.take_batch(4, linger_s=0.5, wait_timeout_s=0.1)
+        thread.join()
+        assert len(batch) == 2
+
+    def test_full_batch_skips_linger(self, estimate_requests):
+        queue = AdmissionQueue(capacity=16)
+        for index in range(4):
+            queue.offer(make_ticket(estimate_requests, index))
+        started = time.perf_counter()
+        _, batch = queue.take_batch(4, linger_s=5.0, wait_timeout_s=0.0)
+        assert len(batch) == 4
+        assert time.perf_counter() - started < 1.0
+
+
+class TestClose:
+    def test_close_returns_leftovers_and_wakes_consumers(self, estimate_requests):
+        queue = AdmissionQueue(capacity=8)
+        tickets = [make_ticket(estimate_requests, index) for index in range(3)]
+        for ticket in tickets:
+            queue.offer(ticket)
+        waiter_result = []
+
+        def consumer():
+            waiter_result.append(queue.take_batch(8, wait_timeout_s=30.0))
+
+        leftovers = queue.close()
+        assert leftovers == tickets
+        assert queue.depth() == 0
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        thread.join(timeout=2.0)
+        assert waiter_result == [None]  # closed queue never blocks a consumer
+
+    def test_close_unblocks_blocked_producer(self, estimate_requests):
+        queue = AdmissionQueue(capacity=1, policy="block")
+        queue.offer(make_ticket(estimate_requests))
+        errors = []
+
+        def producer():
+            try:
+                queue.offer(make_ticket(estimate_requests, 1))
+            except FrontendError as error:
+                errors.append(error)
+
+        thread = threading.Thread(target=producer)
+        thread.start()
+        time.sleep(0.05)
+        queue.close()
+        thread.join(timeout=2.0)
+        assert not thread.is_alive()
+        assert len(errors) == 1
+
+
+class TestCoalescer:
+    def test_splits_expired_tickets(self, estimate_requests):
+        queue = AdmissionQueue(capacity=8)
+        expired = make_ticket(estimate_requests, 0, deadline_s=1e-6)
+        live = make_ticket(estimate_requests, 1)
+        queue.offer(expired)
+        queue.offer(live)
+        time.sleep(0.005)
+        coalescer = BatchCoalescer(queue, max_batch_size=8)
+        batch = coalescer.next_batch(wait_timeout_s=0.0)
+        assert batch.live == (live,)
+        assert batch.expired == (expired,)
+        assert batch.size == 1
+        assert len(batch.queue_times_s) == 1
+        assert batch.queue_times_s[0] >= 0.0
+
+    def test_none_on_idle_queue(self):
+        queue = AdmissionQueue(capacity=8)
+        coalescer = BatchCoalescer(queue, max_batch_size=8)
+        assert coalescer.next_batch(wait_timeout_s=0.01) is None
+
+    def test_validation(self):
+        queue = AdmissionQueue(capacity=8)
+        with pytest.raises(FrontendError):
+            BatchCoalescer(queue, max_batch_size=0)
+        with pytest.raises(FrontendError):
+            BatchCoalescer(queue, max_batch_size=4, max_linger_ms=-1.0)

@@ -1,0 +1,179 @@
+"""Tests for the open-loop load harness: arrivals, percentiles, reports."""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import (
+    FrontendError,
+    FrontendParameters,
+    LoadGenerator,
+    PoissonArrivals,
+    BurstArrivals,
+    ServingFrontend,
+)
+from repro.frontend import DepthSampler, FrontendStats
+from repro.frontend.stats import percentile_label, percentiles
+
+BENCHMARKS_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+
+
+class TestArrivals:
+    def test_poisson_is_deterministic_per_seed(self):
+        first = PoissonArrivals(500.0, seed=3).offsets(1.0)
+        second = PoissonArrivals(500.0, seed=3).offsets(1.0)
+        np.testing.assert_array_equal(first, second)
+        different = PoissonArrivals(500.0, seed=4).offsets(1.0)
+        assert not np.array_equal(first, different)
+
+    def test_poisson_rate_and_bounds(self):
+        offsets = PoissonArrivals(1000.0, seed=0).offsets(2.0)
+        assert offsets.size == pytest.approx(2000, rel=0.15)
+        assert np.all(offsets >= 0)
+        assert np.all(offsets < 2.0)
+        assert np.all(np.diff(offsets) >= 0)  # sorted
+
+    def test_poisson_gaps_look_exponential(self):
+        offsets = PoissonArrivals(2000.0, seed=1).offsets(2.0)
+        gaps = np.diff(offsets)
+        assert gaps.mean() == pytest.approx(1.0 / 2000.0, rel=0.1)
+        # Memorylessness: coefficient of variation of exponential gaps is 1.
+        assert gaps.std() / gaps.mean() == pytest.approx(1.0, rel=0.2)
+
+    def test_burst_structure(self):
+        arrivals = BurstArrivals(1000.0, burst_size=25)
+        offsets = arrivals.offsets(1.0)
+        assert offsets.size == 40 * 25
+        # Arrivals come in simultaneous groups of exactly burst_size.
+        unique, counts = np.unique(offsets, return_counts=True)
+        assert np.all(counts == 25)
+        assert unique[1] - unique[0] == pytest.approx(25 / 1000.0)
+
+    def test_invalid_rates(self):
+        with pytest.raises(FrontendError):
+            PoissonArrivals(0.0)
+        with pytest.raises(FrontendError):
+            BurstArrivals(100.0, burst_size=0)
+        with pytest.raises(FrontendError):
+            PoissonArrivals(100.0).offsets(0.0)
+
+
+class TestPercentiles:
+    def test_known_values(self):
+        values = list(range(1, 101))
+        result = percentiles(values, (50.0, 99.0))
+        assert result["p50"] == pytest.approx(50.5)
+        assert result["p99"] == pytest.approx(99.01)
+
+    def test_labels(self):
+        assert percentile_label(50.0) == "p50"
+        assert percentile_label(99.9) == "p999"
+        assert percentile_label(95.0) == "p95"
+
+    def test_empty_input(self):
+        assert percentiles([]) == {}
+
+    def test_invalid_points(self):
+        with pytest.raises(ValueError):
+            percentiles([1.0], (101.0,))
+
+    def test_bench_utils_delegates_here(self):
+        sys.path.insert(0, str(BENCHMARKS_DIR))
+        try:
+            from _bench_utils import percentiles as bench_percentiles
+        finally:
+            sys.path.pop(0)
+        values = [float(v) for v in range(200)]
+        assert bench_percentiles(values) == percentiles(values)
+
+
+class TestFrontendStats:
+    def test_mean_batch_size(self):
+        stats = FrontendStats(
+            submitted=10, ok=8, rejected=1, dropped=1, timeouts=0, errors=0,
+            batches=4, batched_requests=8, queue_depth=0, max_queue_depth=5,
+            in_flight=0,
+        )
+        assert stats.mean_batch_size == 2.0
+        assert stats.shed == 2
+
+    def test_zero_batches(self):
+        stats = FrontendStats(
+            submitted=0, ok=0, rejected=0, dropped=0, timeouts=0, errors=0,
+            batches=0, batched_requests=0, queue_depth=0, max_queue_depth=0,
+            in_flight=0,
+        )
+        assert stats.mean_batch_size == 0.0
+
+
+class TestDepthSampler:
+    def test_samples_gauge_over_time(self):
+        values = iter(range(1000))
+        sampler = DepthSampler(lambda: next(values), interval_s=0.002)
+        with sampler:
+            import time
+
+            time.sleep(0.05)
+        series = sampler.stop()  # idempotent after context exit
+        assert series == [] or all(t >= 0 for t, _ in series)
+
+    def test_collects_series(self):
+        import time
+
+        sampler = DepthSampler(lambda: 7, interval_s=0.002).start()
+        time.sleep(0.05)
+        series = sampler.stop()
+        assert len(series) >= 5
+        assert all(depth == 7 for _, depth in series)
+        times = [t for t, _ in series]
+        assert times == sorted(times)
+
+
+class TestLoadGenerator:
+    def test_validates_workload(self, service):
+        frontend = ServingFrontend(service, FrontendParameters(queue_capacity=8))
+        with pytest.raises(FrontendError):
+            LoadGenerator(frontend, [], PoissonArrivals(100.0), duration_s=0.1)
+        with pytest.raises(FrontendError):
+            LoadGenerator(frontend, ["nope"], PoissonArrivals(100.0), duration_s=0.1)
+
+    def test_run_produces_complete_report(self, service, estimate_requests):
+        service.submit_batch(estimate_requests)  # warm: keep the test fast
+        params = FrontendParameters(
+            queue_capacity=512, max_batch_size=16, max_linger_ms=1.0, n_workers=1
+        )
+        with ServingFrontend(service, params) as frontend:
+            report = LoadGenerator(
+                frontend,
+                estimate_requests,
+                PoissonArrivals(400.0, seed=5),
+                duration_s=0.25,
+                depth_sample_interval_s=0.005,
+            ).run()
+        assert report.n_submitted > 0
+        assert report.n_ok == report.n_submitted
+        assert report.n_error == 0
+        assert report.achieved_qps > 0
+        assert set(report.latency_percentiles_ms) == {"p50", "p95", "p99", "p999"}
+        assert report.latency_percentiles_ms["p50"] <= report.latency_percentiles_ms["p999"]
+        assert report.mean_batch_size >= 1.0
+        assert report.n_shed == 0
+        payload = report.to_dict()
+        assert payload["n_ok"] == report.n_ok
+        assert payload["latency_percentiles_ms"] == report.latency_percentiles_ms
+
+    def test_depth_series_downsampled_in_dict(self, service, estimate_requests):
+        service.submit_batch(estimate_requests)
+        params = FrontendParameters(queue_capacity=512, max_batch_size=16, n_workers=1)
+        with ServingFrontend(service, params) as frontend:
+            report = LoadGenerator(
+                frontend,
+                estimate_requests,
+                PoissonArrivals(400.0, seed=6),
+                duration_s=0.2,
+                depth_sample_interval_s=0.001,
+            ).run()
+        limited = report.to_dict(depth_series_limit=10)
+        assert len(limited["queue_depth_series"]) <= len(report.queue_depth_series)
