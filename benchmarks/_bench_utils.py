@@ -102,11 +102,33 @@ def write_result(name: str, text: str) -> None:
     print(f"\n{text}\n[written to {path}]")
 
 
-def write_result_json(name: str, payload: dict) -> None:
-    """Persist structured benchmark results with environment + code stamped in."""
+def telemetry_snapshot(telemetry) -> dict | None:
+    """A JSON-ready telemetry snapshot, or ``None`` when no hub was attached.
+
+    Histogram summaries are kept; callback-gauge values are materialised at
+    call time, so the stamp records what the stack's live metrics said when
+    the benchmark finished.
+    """
+    if telemetry is None:
+        return None
+    return telemetry.snapshot()
+
+
+def write_result_json(name: str, payload: dict, telemetry=None) -> None:
+    """Persist structured benchmark results with environment + code stamped in.
+
+    Pass a :class:`repro.telemetry.Telemetry` hub as ``telemetry`` to also
+    stamp the run's final metric snapshot into the document (under
+    ``"telemetry"``), so committed results carry the live counters --
+    cache hit rates, batch sizes, latency histograms -- alongside the
+    benchmark's own numbers.
+    """
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     path = RESULTS_DIR / f"{name}.json"
     document = {"environment": numpy_environment(), "code": code_version(), **payload}
+    snapshot = telemetry_snapshot(telemetry)
+    if snapshot is not None:
+        document["telemetry"] = snapshot
     path.write_text(json.dumps(document, indent=2, sort_keys=False) + "\n")
     print(f"[json written to {path}]")
 

@@ -44,6 +44,7 @@ from repro import (
     BurstArrivals,
     ServingFrontend,
     SimulationParameters,
+    Telemetry,
     TrafficSimulator,
     TrajectoryStore,
     grid_network,
@@ -148,6 +149,10 @@ def main(argv=None) -> int:
         network, parameters, max_cardinality=preset["max_cardinality"]
     ).build(store)
     service = CostEstimationService(PathCostEstimator(hybrid_graph))
+    # One telemetry hub shared by every scenario's front-end: the registry
+    # gauges rebind to the live front-end, the per-lane histograms keep
+    # accumulating, and the final snapshot lands in the result JSON.
+    telemetry = Telemetry()
     paths = build_paths(simulator)
     if not paths:
         print("no paths in workload", file=sys.stderr)
@@ -173,7 +178,7 @@ def main(argv=None) -> int:
     gc.collect()
     gc.disable()  # collector pauses would masquerade as serving tail
     try:
-        with ServingFrontend(service, steady_params) as frontend:
+        with ServingFrontend(service, steady_params, telemetry=telemetry) as frontend:
             steady = LoadGenerator(
                 frontend,
                 warm_requests,
@@ -213,7 +218,7 @@ def main(argv=None) -> int:
             max_batch_size=16, max_linger_ms=0.5, n_workers=1,
         )
         service.clear_caches()
-        with ServingFrontend(service, overload_params) as frontend:
+        with ServingFrontend(service, overload_params, telemetry=telemetry) as frontend:
             report = LoadGenerator(
                 frontend, busting, PoissonArrivals(offered, seed=13), duration_s=duration
             ).run()
@@ -235,7 +240,7 @@ def main(argv=None) -> int:
         queue_capacity=4096, backpressure="block",
         max_batch_size=64, max_linger_ms=2.0, n_workers=2,
     )
-    with ServingFrontend(service, burst_params) as frontend:
+    with ServingFrontend(service, burst_params, telemetry=telemetry) as frontend:
         burst = LoadGenerator(
             frontend,
             warm_requests,
@@ -290,6 +295,7 @@ def main(argv=None) -> int:
             "cache_busting_qps": busting_qps,
             "scenarios": scenarios,
         },
+        telemetry=telemetry,
     )
     service.close()
     return 0

@@ -32,6 +32,7 @@ from repro import (
     PathCostEstimator,
     ServiceParameters,
     SimulationParameters,
+    Telemetry,
     TrafficSimulator,
     TrajectoryStore,
     grid_network,
@@ -101,6 +102,10 @@ def main(argv=None) -> int:
     service = CostEstimationService(
         estimator, ServiceParameters(max_workers=args.workers)
     )
+    # Live metrics over the service's own counters; the final snapshot is
+    # stamped into the result JSON so committed numbers carry hit rates etc.
+    telemetry = Telemetry()
+    service.register_metrics(telemetry.registry)
     requests = [EstimateRequest(path, departure) for path, departure in queries]
     started = time.perf_counter()
     first_pass = service.submit_batch(requests)
@@ -200,6 +205,7 @@ def main(argv=None) -> int:
                 "pool_churn_overhead_ms": pool_overhead_ms,
             },
         },
+        telemetry=telemetry,
     )
     return 0
 

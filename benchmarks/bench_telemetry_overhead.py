@@ -1,0 +1,342 @@
+"""Telemetry overhead gate: serving cost with the hub attached vs detached.
+
+The observability layer's contract is that it is *near-free*: metrics are
+callback-backed gauges over bookkeeping the stack already keeps, traces
+are sampled (1 in ``trace_sample_every`` requests), and the only push-style
+hot-path work is two histogram observes per answered request.  This
+benchmark measures that claim end-to-end and **gates** it:
+
+* the same warm workload runs through two live :class:`ServingFrontend`\ s
+  -- one with no telemetry, one with a full default-configured hub -- in
+  finely interleaved bursts with ABBA ordering, so multi-second machine
+  noise phases (other tenants, frequency scaling) land on both sides
+  equally instead of on whichever side happened to be running;
+* overhead is measured as **process CPU time per request** under a pinned
+  batch shape.  Requests are submitted in exact-batch-size chunks so every
+  coalesced batch has the same size on both sides -- otherwise the
+  scheduler's batch-size lottery (1-request batches one round, full
+  batches the next) swamps the comparison; and CPU time, unlike wall
+  time, is blind to when the kernel preempts the worker.  For this
+  GIL-bound service, saturated throughput is exactly 1 / CPU-per-request,
+  so the CPU ratio *is* the throughput regression.
+* acceptance: the median aggregate CPU ratio over independent repeats
+  costs <= ``MAX_OVERHEAD_PCT`` (3%) over the telemetry-off side;
+* the attached run's registry is rendered to Prometheus text and parsed
+  back, and the parsed counters are reconciled against the run -- the CI
+  smoke job fails on any malformed exposition output.
+
+Micro-benchmarks of the individual primitives (histogram observe, trace
+sampling, registry snapshot) are reported alongside for attribution.
+
+Run ``PYTHONPATH=src python benchmarks/bench_telemetry_overhead.py``
+(``--smoke`` for the CI configuration).
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import sys
+import time
+
+from repro import (
+    CostEstimationService,
+    EstimateRequest,
+    EstimatorParameters,
+    FrontendParameters,
+    HybridGraphBuilder,
+    LatencyHistogram,
+    PathCostEstimator,
+    ServingFrontend,
+    SimulationParameters,
+    Telemetry,
+    TelemetryParameters,
+    TrafficSimulator,
+    TrajectoryStore,
+    Tracer,
+    grid_network,
+    parse_prometheus_text,
+)
+
+from _bench_utils import write_result, write_result_json
+
+#: The gate: attaching the telemetry hub may cost at most this fraction of
+#: the telemetry-off warm CPU time per request.
+MAX_OVERHEAD_PCT = 3.0
+
+#: Every coalesced batch is pinned to exactly this size (requests are
+#: submitted in chunks of BATCH and the workload is trimmed to a multiple
+#: of it), so both sides of the A/B amortise per-batch costs identically.
+BATCH = 64
+
+PRESETS = {
+    # alternations is the number of ABBA-interleaved burst pairs per repeat
+    # (one burst = one pass over the workload).  More alternations tighten
+    # the estimate roughly as 1/sqrt(alternations); repeats is odd so the
+    # median ratio is a real measurement, not an average of two.
+    "smoke": dict(grid=5, n_trajectories=250, beta=10, max_cardinality=4,
+                  alternations=600, repeats=3),
+    "default": dict(grid=8, n_trajectories=1000, beta=20, max_cardinality=5,
+                    alternations=600, repeats=3),
+}
+
+#: Untimed warm-up passes each front-end runs before its timed bursts.
+WARMUP_PASSES = 2
+
+
+def build_paths(simulator):
+    paths, seen = [], set()
+    for route in simulator.popular_routes:
+        for length in range(2, len(route.path) + 1):
+            path = route.path.prefix(length)
+            if path.edge_ids not in seen:
+                seen.add(path.edge_ids)
+                paths.append(path)
+    return paths
+
+
+def _burst(frontend, requests, n_passes=1):
+    """Push ``n_passes`` over the workload in exact-``BATCH``-size chunks.
+
+    Each chunk is drained before the next and the generous linger lets the
+    coalescer wait for the full chunk: every batch is exactly ``BATCH``
+    requests, which pins the per-batch amortisation that otherwise varies
+    with scheduler mood.  Returns the burst's process CPU seconds.
+    """
+    started = time.process_time()
+    for _ in range(n_passes):
+        for start in range(0, len(requests), BATCH):
+            for request in requests[start:start + BATCH]:
+                frontend.submit_estimate(request)
+            frontend.drain()
+    return time.process_time() - started
+
+
+def measure_overhead(service, requests, telemetry, alternations):
+    """One repeat: interleaved off/on bursts, aggregate CPU per side.
+
+    Both front-ends stay alive for the whole repeat and alternate
+    one-pass bursts in ABBA order (off-on, on-off, ...), so slow machine
+    phases spanning many bursts hit both sides equally and linear drift
+    cancels.  Returns (off_cpu_s_per_request, on_cpu_s_per_request,
+    off_wall_qps, on_wall_qps).
+    """
+    params = FrontendParameters(
+        queue_capacity=8192, backpressure="block",
+        max_batch_size=BATCH, max_linger_ms=5.0, n_workers=1,
+    )
+    with ServingFrontend(service, params, telemetry=None) as frontend_off, \
+            ServingFrontend(service, params, telemetry=telemetry) as frontend_on:
+        _burst(frontend_off, requests, WARMUP_PASSES)
+        _burst(frontend_on, requests, WARMUP_PASSES)
+        cpu_off = cpu_on = 0.0
+        wall_started = time.perf_counter()
+        for index in range(alternations):
+            if index % 2 == 0:
+                cpu_off += _burst(frontend_off, requests)
+                cpu_on += _burst(frontend_on, requests)
+            else:
+                cpu_on += _burst(frontend_on, requests)
+                cpu_off += _burst(frontend_off, requests)
+        wall = time.perf_counter() - wall_started
+    n_per_side = alternations * len(requests)
+    # Both sides share one wall window; attribute it by CPU share for an
+    # informational per-side QPS.
+    off_share = cpu_off / (cpu_off + cpu_on)
+    return (
+        cpu_off / n_per_side,
+        cpu_on / n_per_side,
+        n_per_side / (wall * off_share),
+        n_per_side / (wall * (1.0 - off_share)),
+    )
+
+
+def micro_benchmarks() -> dict:
+    """Per-call costs of the telemetry primitives (nanoseconds)."""
+    results: dict[str, float] = {}
+    n = 200_000
+
+    hist = LatencyHistogram("bench_seconds")
+    started = time.perf_counter()
+    for index in range(n):
+        hist.observe(index * 1e-6)
+    results["histogram_observe_ns"] = (time.perf_counter() - started) / n * 1e9
+
+    batch_hist = LatencyHistogram("bench_batch_seconds")
+    batch = [index * 1e-6 for index in range(64)]
+    n_batches = n // 64
+    started = time.perf_counter()
+    for _ in range(n_batches):
+        batch_hist.observe_batch(batch)
+    batch_hist.sum  # force the fold of whatever is still pending
+    results["histogram_observe_batch64_ns_per_value"] = (
+        (time.perf_counter() - started) / n * 1e9
+    )
+
+    tracer = Tracer(sample_every=64)
+    started = time.perf_counter()
+    for _ in range(n):
+        trace = tracer.maybe_trace("estimate")
+        if trace is not None:
+            tracer.finish(trace, "ok")
+    results["sampled_trace_decision_ns"] = (time.perf_counter() - started) / n * 1e9
+
+    telemetry = Telemetry()
+    for index in range(32):
+        telemetry.registry.gauge(f"bench_gauge_{index}", callback=lambda: 1.0)
+    n_snap = 2_000
+    started = time.perf_counter()
+    for _ in range(n_snap):
+        telemetry.registry.snapshot()
+    results["registry_snapshot_32_gauges_us"] = (
+        (time.perf_counter() - started) / n_snap * 1e6
+    )
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--preset", choices=sorted(PRESETS), default="default")
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI configuration: the smoke preset (small stack)",
+    )
+    args = parser.parse_args(argv)
+    preset_name = "smoke" if args.smoke else args.preset
+    preset = PRESETS[preset_name]
+
+    network = grid_network(
+        preset["grid"], preset["grid"], block_length_m=220.0, arterial_every=3,
+        name="bench-city",
+    )
+    simulator = TrafficSimulator(
+        network,
+        SimulationParameters(
+            n_trajectories=preset["n_trajectories"], popular_route_count=10, seed=7
+        ),
+    )
+    store = TrajectoryStore(simulator.generate())
+    hybrid_graph = HybridGraphBuilder(
+        network,
+        EstimatorParameters(beta=preset["beta"]),
+        max_cardinality=preset["max_cardinality"],
+    ).build(store)
+    service = CostEstimationService(PathCostEstimator(hybrid_graph))
+    paths = build_paths(simulator)
+    if not paths:
+        print("no paths in workload", file=sys.stderr)
+        return 1
+    departure = simulator.popular_routes[0].busy_hour * 3600.0
+    requests = [EstimateRequest(path, departure) for path in paths]
+    # Trim (repeating if needed) to a whole number of BATCH-size chunks so
+    # every coalesced batch is full -- see _burst.
+    if len(requests) < 2 * BATCH:
+        requests = requests * (2 * BATCH // len(requests) + 1)
+    requests = requests[: len(requests) // BATCH * BATCH]
+    service.submit_batch(requests)  # warm the result cache once
+
+    # The hub exactly as shipped: default sampling, default slow log.
+    telemetry = Telemetry(TelemetryParameters())
+
+    repeats: list[tuple[float, float, float, float]] = []
+    gc.collect()
+    gc.disable()  # collector pauses must not land on one side of the A/B
+    try:
+        for _ in range(preset["repeats"]):
+            repeats.append(
+                measure_overhead(service, requests, telemetry, preset["alternations"])
+            )
+    finally:
+        gc.enable()
+
+    # Each repeat's aggregate on/off CPU ratio is already robust to
+    # machine noise (the interleaving averages it out); the median across
+    # repeats guards against a single repeat landing on a pathological
+    # stretch.
+    ratios = sorted(on / off for off, on, _, _ in repeats)
+    median_ratio = ratios[len(ratios) // 2]
+    overhead_pct = (median_ratio - 1.0) * 100.0
+    off_cpu_ns = min(off for off, _, _, _ in repeats) * 1e9
+    on_cpu_ns = min(on for _, on, _, _ in repeats) * 1e9
+    off_qps = max(qps for _, _, qps, _ in repeats)
+    on_qps = max(qps for _, _, _, qps in repeats)
+
+    # -- exporter round-trip on the registry the run actually populated. -- #
+    text = telemetry.render_prometheus()
+    series = parse_prometheus_text(text)
+    # The count gauges rebind to each repeat's fresh front-end (last one
+    # wins); the shared histograms accumulate across every attached repeat.
+    n_per_repeat = (WARMUP_PASSES + preset["alternations"]) * len(requests)
+    n_on_requests = n_per_repeat * preset["repeats"]
+    assert series["repro_frontend_ok_total"] == n_per_repeat, (
+        f"exported ok counter {series['repro_frontend_ok_total']} != "
+        f"{n_per_repeat} requests served by the last attached front-end"
+    )
+    assert series['repro_frontend_latency_seconds_count{lane="estimate"}'] == n_on_requests
+    assert series["repro_service_served_total"] >= n_on_requests
+    snapshot_keys = set(telemetry.registry.snapshot())
+    assert len(snapshot_keys) >= 30, f"registry unexpectedly small: {len(snapshot_keys)}"
+
+    micro = micro_benchmarks()
+
+    # -- the gate. -------------------------------------------------------- #
+    assert overhead_pct <= MAX_OVERHEAD_PCT, (
+        f"telemetry overhead {overhead_pct:.2f}% CPU per request (median of "
+        f"{len(ratios)} interleaved repeats) exceeds the {MAX_OVERHEAD_PCT:.0f}% "
+        f"gate (best repeats: off {off_cpu_ns:.0f} ns/req, on {on_cpu_ns:.0f} ns/req)"
+    )
+
+    lines = [
+        f"telemetry overhead ({preset_name}: {preset['grid']}x{preset['grid']} grid, "
+        f"{len(requests)} warm requests in batches of {BATCH}, "
+        f"{preset['repeats']} repeats x {preset['alternations']} interleaved "
+        "off/on bursts, median repeat CPU ratio)",
+        "",
+        f"telemetry off : {off_cpu_ns:10.1f} ns CPU/request  "
+        f"(best repeat; wall {off_qps:.0f} QPS)",
+        f"telemetry on  : {on_cpu_ns:10.1f} ns CPU/request  "
+        f"(best repeat; wall {on_qps:.0f} QPS)",
+        f"overhead      : {overhead_pct:10.2f} %   (gate: <= {MAX_OVERHEAD_PCT:.0f}%)",
+        "",
+        f"histogram observe       : {micro['histogram_observe_ns']:8.1f} ns/call",
+        f"histogram observe_batch : "
+        f"{micro['histogram_observe_batch64_ns_per_value']:8.1f} ns/value "
+        "(batches of 64, fold included)",
+        f"trace sampling decision : {micro['sampled_trace_decision_ns']:8.1f} ns/request "
+        "(1-in-64 sampled, finish included)",
+        f"registry snapshot       : {micro['registry_snapshot_32_gauges_us']:8.1f} us "
+        "(32 callback gauges)",
+        "",
+        f"prometheus exposition: {len(series)} series rendered, parsed, and "
+        "reconciled against the run's counters",
+    ]
+    write_result("telemetry_overhead", "\n".join(lines))
+    write_result_json(
+        "telemetry_overhead",
+        {
+            "preset": preset_name,
+            "n_requests": len(requests),
+            "batch_size": BATCH,
+            "alternations": preset["alternations"],
+            "repeats": preset["repeats"],
+            "off_cpu_ns_per_request": off_cpu_ns,
+            "on_cpu_ns_per_request": on_cpu_ns,
+            "off_qps": off_qps,
+            "on_qps": on_qps,
+            "repeat_cpu_s_per_request": [
+                {"off": off, "on": on} for off, on, _, _ in repeats
+            ],
+            "repeat_ratios": ratios,
+            "overhead_pct": overhead_pct,
+            "gate_pct": MAX_OVERHEAD_PCT,
+            "micro": micro,
+            "prometheus_series": len(series),
+        },
+        telemetry=telemetry,
+    )
+    service.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -306,6 +306,46 @@ class FrontendParameters:
 
 
 @dataclass(frozen=True)
+class TelemetryParameters:
+    """Parameters for the telemetry layer (:mod:`repro.telemetry`).
+
+    Attributes
+    ----------
+    trace_sample_every:
+        Trace one request in this many through the front-end (``1`` traces
+        everything, ``0`` disables tracing).  Sampling keeps per-request
+        tracing cost amortised to near zero at high QPS; the default
+        (1 in 256, ~0.4%) still lands several traces per second on any
+        realistically loaded service while keeping the trace machinery
+        invisible next to sub-millisecond request costs.
+    slow_log_capacity:
+        How many worst-by-duration traces the bounded in-memory slow-query
+        log retains.
+    reporter_period_s:
+        Period of the background :class:`~repro.telemetry.StatsReporter`
+        when one is attached (seconds between JSON-lines snapshots).
+    """
+
+    trace_sample_every: int = 256
+    slow_log_capacity: int = 32
+    reporter_period_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.trace_sample_every < 0:
+            raise ConfigurationError(
+                f"trace_sample_every must be >= 0, got {self.trace_sample_every}"
+            )
+        if self.slow_log_capacity < 1:
+            raise ConfigurationError(
+                f"slow_log_capacity must be >= 1, got {self.slow_log_capacity}"
+            )
+        if self.reporter_period_s <= 0:
+            raise ConfigurationError(
+                f"reporter_period_s must be positive, got {self.reporter_period_s}"
+            )
+
+
+@dataclass(frozen=True)
 class IngestParameters:
     """Parameters for the streaming ingest pipeline (:mod:`repro.ingest`).
 
@@ -519,3 +559,4 @@ DEFAULT_SERVICE_PARAMETERS = ServiceParameters()
 DEFAULT_SIMULATION_PARAMETERS = SimulationParameters()
 DEFAULT_EXPERIMENT_PARAMETERS = ExperimentParameters()
 DEFAULT_INGEST_PARAMETERS = IngestParameters()
+DEFAULT_TELEMETRY_PARAMETERS = TelemetryParameters()

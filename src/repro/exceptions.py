@@ -57,6 +57,12 @@ class FrontendError(ReproError):
     rejected, dropped, and timed-out requests get typed responses instead)."""
 
 
+class TelemetryError(ReproError):
+    """Raised by the telemetry layer for metric-registration conflicts or
+    invalid metric use (never from the collection path: a failing gauge
+    callback reports NaN instead of raising mid-snapshot)."""
+
+
 class ConfigurationError(ReproError):
     """Raised for invalid parameter values in configuration objects."""
 

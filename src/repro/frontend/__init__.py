@@ -21,7 +21,7 @@ library into a traffic-serving daemon:
   measurement primitives shared with the benchmark suite.
 """
 
-from .admission import AdmissionQueue, OfferResult
+from .admission import AdmissionQueue, OfferResult, TakenBatch
 from .coalescer import BatchCoalescer, CoalescedBatch
 from .frontend import ServingFrontend
 from .loadgen import BurstArrivals, LoadGenerator, LoadReport, PoissonArrivals
@@ -58,6 +58,7 @@ __all__ = [
     "SHED_STATUSES",
     "STATUS_DROPPED",
     "STATUS_ERROR",
+    "TakenBatch",
     "STATUS_OK",
     "STATUS_REJECTED",
     "STATUS_TIMEOUT",

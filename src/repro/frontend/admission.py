@@ -26,6 +26,7 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass
+from typing import NamedTuple
 
 from ..config import (
     BACKPRESSURE_BLOCK,
@@ -48,6 +49,21 @@ class OfferResult:
 
     admitted: bool
     dropped: "Ticket | None" = None
+
+
+class TakenBatch(NamedTuple):
+    """One dequeued lane-homogeneous batch.
+
+    ``first_popped_at_s`` is when the batch's *first* ticket left the
+    queue -- the boundary between a ticket's admission wait and the
+    coalescer linger it then sat through (tracing splits the two spans on
+    it).  Tickets arriving during the linger have
+    ``submitted_at_s > first_popped_at_s`` and an admission wait of zero.
+    """
+
+    lane: str
+    tickets: list[Ticket]
+    first_popped_at_s: float
 
 
 class AdmissionQueue:
@@ -147,7 +163,7 @@ class AdmissionQueue:
         max_batch: int,
         linger_s: float = 0.0,
         wait_timeout_s: float = 0.1,
-    ) -> tuple[str, list[Ticket]] | None:
+    ) -> TakenBatch | None:
         """Dequeue one lane-homogeneous batch of up to ``max_batch`` tickets.
 
         Blocks up to ``wait_timeout_s`` for the first ticket (returning
@@ -157,8 +173,9 @@ class AdmissionQueue:
         for more same-lane arrivals to fill the batch; under load the
         batch fills immediately and the linger never elapses.
 
-        Returns ``(lane, tickets)``; after ``close()``, drains whatever
-        remains and then returns ``None`` forever.
+        Returns a :class:`TakenBatch` (``(lane, tickets,
+        first_popped_at_s)``); after ``close()``, drains whatever remains
+        and then returns ``None`` forever.
         """
         if max_batch < 1:
             raise FrontendError(f"max_batch must be >= 1, got {max_batch}")
@@ -169,6 +186,7 @@ class AdmissionQueue:
             assert lane_name is not None
             lane = self._lanes[lane_name]
             batch = self._pop_up_to(lane, max_batch)
+            first_popped_at_s = time.perf_counter()
             if len(batch) < max_batch and linger_s > 0 and not self._closed:
                 deadline = time.perf_counter() + linger_s
                 while len(batch) < max_batch and not self._closed:
@@ -178,7 +196,7 @@ class AdmissionQueue:
                     self._not_empty.wait(remaining)
                     batch.extend(self._pop_up_to(lane, max_batch - len(batch)))
             self._not_full.notify_all()
-            return lane_name, batch
+            return TakenBatch(lane_name, batch, first_popped_at_s)
 
     def _wait_not_empty(self, wait_timeout_s: float) -> bool:
         """Wait (holding the lock) until a ticket is queued; False on timeout."""

@@ -39,6 +39,9 @@ class CoalescedBatch:
     live: tuple[Ticket, ...]
     expired: tuple[Ticket, ...]
     dequeued_at_s: float
+    #: When the batch's first ticket left the queue -- the boundary between
+    #: admission wait and coalescer linger (tracing splits spans on it).
+    first_dequeued_at_s: float = 0.0
     queue_times_s: tuple[float, ...] = field(default=())
 
     @property
@@ -76,7 +79,7 @@ class BatchCoalescer:
         )
         if taken is None:
             return None
-        lane, tickets = taken
+        lane, tickets, first_popped_at_s = taken
         if not tickets:
             return None
         now = time.perf_counter()
@@ -89,6 +92,7 @@ class BatchCoalescer:
             live=tuple(live),
             expired=tuple(expired),
             dequeued_at_s=now,
+            first_dequeued_at_s=first_popped_at_s,
             queue_times_s=tuple(now - ticket.submitted_at_s for ticket in live),
         )
 

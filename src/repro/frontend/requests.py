@@ -122,6 +122,7 @@ class Ticket:
         "request",
         "submitted_at_s",
         "deadline_at_s",
+        "trace",
         "_lock",
         "_event",
         "_response",
@@ -137,6 +138,9 @@ class Ticket:
             raise FrontendError(f"lane must be one of {LANES}, got {lane!r}")
         self.lane = lane
         self.request = request
+        #: A sampled :class:`~repro.telemetry.Trace` riding this request
+        #: through the front-end (``None`` for untraced requests).
+        self.trace = None
         self.submitted_at_s = time.perf_counter()
         self.deadline_at_s = (
             None if deadline_s is None else self.submitted_at_s + deadline_s

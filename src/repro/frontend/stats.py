@@ -8,12 +8,12 @@ committed results and in live stats are computed identically.
 
 from __future__ import annotations
 
-import threading
-import time
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
+
+from ..telemetry.sampling import GaugeSampler
 
 #: The tail points the latency harness reports by default.
 DEFAULT_PERCENTILE_POINTS = (50.0, 95.0, 99.0, 99.9)
@@ -91,51 +91,26 @@ class FrontendStats:
         )
 
 
-class DepthSampler:
+class DepthSampler(GaugeSampler):
     """Samples a depth gauge on a background thread: a queue-depth time series.
 
-    The latency harness runs one of these against
-    :meth:`ServingFrontend.queue_depth` while the load generator drives
-    traffic; the resulting ``(elapsed_s, depth)`` series is what shows
-    bounded queues under overload (and is persisted into the benchmark
-    JSON).
+    A thin specialisation of the telemetry layer's
+    :class:`~repro.telemetry.GaugeSampler` (integer depths, a
+    ``depth-sampler`` thread name).  The latency harness runs one of these
+    against :meth:`ServingFrontend.queue_depth` while the load generator
+    drives traffic -- the *same* callable the live
+    ``repro_frontend_queue_depth`` registry gauge reads, so the
+    ``LoadReport`` depth series and the exported gauge can never disagree.
     """
 
     def __init__(self, gauge: Callable[[], int], interval_s: float = 0.01) -> None:
-        if interval_s <= 0:
-            raise ValueError(f"interval_s must be positive, got {interval_s}")
-        self._gauge = gauge
-        self._interval_s = interval_s
-        self._samples: list[tuple[float, int]] = []
-        self._stop = threading.Event()
-        self._thread: threading.Thread | None = None
-        self._started_at = 0.0
-
-    def start(self) -> "DepthSampler":
-        if self._thread is not None:
-            raise RuntimeError("sampler already started")
-        self._started_at = time.perf_counter()
-        self._thread = threading.Thread(target=self._run, name="depth-sampler", daemon=True)
-        self._thread.start()
-        return self
-
-    def _run(self) -> None:
-        while not self._stop.wait(self._interval_s):
-            self._samples.append(
-                (time.perf_counter() - self._started_at, int(self._gauge()))
-            )
+        super().__init__(
+            gauge,
+            interval_s=interval_s,
+            transform=int,
+            thread_name="depth-sampler",
+        )
 
     def stop(self) -> list[tuple[float, int]]:
         """Stop sampling and return the ``(elapsed_s, depth)`` series."""
-        if self._thread is None:
-            return []
-        self._stop.set()
-        self._thread.join()
-        self._thread = None
-        return list(self._samples)
-
-    def __enter__(self) -> "DepthSampler":
-        return self.start()
-
-    def __exit__(self, exc_type, exc, tb) -> None:
-        self.stop()
+        return super().stop()

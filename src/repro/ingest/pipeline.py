@@ -61,6 +61,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.hybrid_graph import HybridGraph
     from ..core.instantiation import HybridGraphBuilder
     from ..frontend.frontend import ServingFrontend
+    from ..telemetry import MetricsRegistry, Telemetry
     from ..service.service import CostEstimationService, InvalidationReport
     from ..trajectories.mapmatching import HMMMapMatcher
 
@@ -127,6 +128,7 @@ class TrajectoryIngestPipeline:
         parameters: IngestParameters | None = None,
         persist_dir: "str | FSPath | None" = None,
         persist_parameters: PersistParameters | None = None,
+        telemetry: "Telemetry | None" = None,
     ) -> None:
         if not isinstance(store, MutableTrajectoryStore):
             raise IngestError(
@@ -173,6 +175,14 @@ class TrajectoryIngestPipeline:
         self._last_snapshot_path: FSPath | None = None
         self._deltas_since_full = 0
         self._snapshots = 0
+        #: Optional telemetry: per-stage latency histograms plus callback
+        #: gauges over the counters above.  ``None`` keeps the write path
+        #: free of any timing work (one attribute check per stage).
+        self.telemetry = telemetry
+        self._prepare_hist = None
+        self._commit_hist = None
+        if telemetry is not None:
+            self.register_metrics(telemetry.registry)
 
     # ------------------------------------------------------------------ #
     # Synchronous ingestion
@@ -523,6 +533,41 @@ class TrajectoryIngestPipeline:
         with self._lock:
             return list(self._recent_skips)
 
+    def register_metrics(self, registry: "MetricsRegistry") -> "MetricsRegistry":
+        """Expose the write path's live stats through a telemetry registry.
+
+        Counters become callback-backed gauges over the pipeline's
+        existing bookkeeping (invalidation churn, backlog, dirty-edge
+        pressure), and the two pipeline stages get latency histograms:
+        ``prepare`` (normalise + map-match) and ``commit`` (append +
+        invalidate + refresh/snapshot triggers).  The histograms are the
+        only push-style metrics; without them the write path is untouched.
+        """
+        gauge = registry.gauge
+        counters = (
+            ("repro_ingest_submitted_total", "Trajectories submitted", lambda: self._submitted),
+            ("repro_ingest_accepted_total", "Trajectories appended to the store", lambda: self._accepted),
+            ("repro_ingest_skipped_total", "Trajectories skipped (unmatchable, too short, invalid)", lambda: sum(self._skip_reasons.values())),
+            ("repro_ingest_invalidated_results_total", "Result-cache entries dropped by ingest invalidation", lambda: self._invalidated_results),
+            ("repro_ingest_invalidated_decompositions_total", "Decomposition-cache entries dropped by ingest invalidation", lambda: self._invalidated_decompositions),
+            ("repro_ingest_invalidated_routes_total", "Route-cache entries dropped by ingest invalidation", lambda: self._invalidated_routes),
+            ("repro_ingest_rewarmed_total", "Invalidated result keys recomputed by re-warmup", lambda: self._rewarmed),
+            ("repro_ingest_refreshes_total", "Hybrid-graph refresh + service rebase passes", lambda: self._refreshes),
+            ("repro_ingest_snapshots_total", "Snapshots written by the pipeline", lambda: self._snapshots),
+            ("repro_ingest_pending_dirty_edges", "Edges dirtied since the last refresh", lambda: len(self._pending_dirty)),
+            ("repro_ingest_backlog", "Items waiting in the streaming queue", lambda: self._queue.qsize() if self._queue is not None else 0),
+            ("repro_ingest_store_version", "Store version (one bump per append batch)", lambda: self.store.version),
+        )
+        for name, help_text, callback in counters:
+            gauge(name, help_text, callback=callback)
+        self._prepare_hist = registry.histogram(
+            "repro_ingest_prepare_seconds", "Normalise + map-match stage time per item"
+        )
+        self._commit_hist = registry.histogram(
+            "repro_ingest_commit_seconds", "Append + invalidate stage time per batch"
+        )
+        return registry
+
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
@@ -535,6 +580,18 @@ class TrajectoryIngestPipeline:
         when the item was skipped.  ``allow_raise=False`` (streaming mode)
         records match failures even under the ``"raise"`` policy.
         """
+        hist = self._prepare_hist
+        if hist is None:
+            return self._prepare_inner(item, allow_raise)
+        started = time.perf_counter()
+        try:
+            return self._prepare_inner(item, allow_raise)
+        finally:
+            hist.observe(time.perf_counter() - started)
+
+    def _prepare_inner(
+        self, item: "MatchedTrajectory | Trajectory | tuple", allow_raise: bool = True
+    ) -> tuple[MatchedTrajectory | None, IngestResult | None]:
         if isinstance(item, MatchedTrajectory):
             return item, None
         if isinstance(item, tuple):
@@ -603,6 +660,18 @@ class TrajectoryIngestPipeline:
         self, matched_batch: list[MatchedTrajectory]
     ) -> tuple[set[int], "InvalidationReport | None", int]:
         """Append a batch and apply its cache effects atomically."""
+        hist = self._commit_hist
+        if hist is None:
+            return self._commit_inner(matched_batch)
+        started = time.perf_counter()
+        try:
+            return self._commit_inner(matched_batch)
+        finally:
+            hist.observe(time.perf_counter() - started)
+
+    def _commit_inner(
+        self, matched_batch: list[MatchedTrajectory]
+    ) -> tuple[set[int], "InvalidationReport | None", int]:
         with self._lock:
             dirty = self.store.append_many(matched_batch)
             self._accepted += len(matched_batch)

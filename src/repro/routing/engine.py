@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import heapq
 import math
+import threading
 import time
 from dataclasses import dataclass
 
@@ -214,6 +215,14 @@ class RoutingEngine:
         self._use_incremental = use_incremental
         self.estimator = estimator  # the setter applies the wrapping policy
         self.bounds_index = bounds_index if bounds_index is not None else ReverseBoundsIndex(network)
+        #: Lifetime counters, updated once per finished search (not per
+        #: expansion), so the search loop itself carries no telemetry cost.
+        #: Exported as live gauges by
+        #: :meth:`~repro.service.CostEstimationService.register_metrics`.
+        self._stats_lock = threading.Lock()
+        self.searches = 0
+        self.expansions_total = 0
+        self.truncations = 0
 
     @property
     def estimator(self) -> SupportsEstimate:
@@ -294,6 +303,8 @@ class RoutingEngine:
             self._estimator.clear()
         bounds = self.bounds_index.bounds_to(target)
         if source not in bounds:
+            with self._stats_lock:
+                self.searches += 1
             return RouteResult(None, 0.0, 0, time.perf_counter() - started)
 
         best_path: Path | None = None
@@ -401,6 +412,10 @@ class RoutingEngine:
 
         elapsed = time.perf_counter() - started
         probability = best_probability if best_path is not None else 0.0
+        with self._stats_lock:
+            self.searches += 1
+            self.expansions_total += expansions
+            self.truncations += int(truncated)
         return RouteResult(best_path, probability, paths_evaluated, elapsed, truncated)
 
     def __repr__(self) -> str:  # pragma: no cover - trivial

@@ -190,17 +190,28 @@ class LRUCache(Generic[K, V]):
             self._invalidations += len(doomed)
             return doomed
 
+    @property
+    def lock(self) -> threading.Lock:
+        """The cache's internal lock, for callers composing a multi-cache
+        snapshot: the service acquires all of its caches' locks together
+        (in a fixed order) so hit/miss totals cannot tear across caches."""
+        return self._lock
+
+    def stats_unlocked(self) -> CacheStats:
+        """The counters, assuming the caller already holds :attr:`lock`."""
+        return CacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self._evictions,
+            size=len(self._entries),
+            capacity=self._capacity,
+            invalidations=self._invalidations,
+        )
+
     def stats(self) -> CacheStats:
         """A consistent snapshot of the counters."""
         with self._lock:
-            return CacheStats(
-                hits=self._hits,
-                misses=self._misses,
-                evictions=self._evictions,
-                size=len(self._entries),
-                capacity=self._capacity,
-                invalidations=self._invalidations,
-            )
+            return self.stats_unlocked()
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return f"LRUCache({len(self)}/{self._capacity})"

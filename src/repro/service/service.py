@@ -69,6 +69,7 @@ from .requests import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..telemetry.metrics import MetricsRegistry
     from ..trajectories.store import TrajectoryStore
     from .warmup import WarmupReport
 
@@ -155,6 +156,9 @@ class CostEstimationService:
         #: service, so a rebase is picked up without rebuilding the engine.
         self._route_engine: RoutingEngine | None = None
         self._route_engine_lock = threading.Lock()
+        #: Serving counters, guarded by one lock so :meth:`stats` can read
+        #: them together with the cache counters as one consistent snapshot.
+        self._counts_lock = threading.Lock()
         self._served = 0
         self._computed = 0
         self._routes_served = 0
@@ -192,17 +196,136 @@ class CostEstimationService:
         return (path.edge_ids, interval.index, resolved)
 
     def stats(self) -> dict[str, object]:
-        """Serving counters plus per-cache hit/miss/eviction statistics."""
-        return {
-            "served": self._served,
-            "computed": self._computed,
-            "routes_served": self._routes_served,
-            "routes_computed": self._routes_computed,
-            "result_cache": self._result_cache.stats(),
-            "decomposition_cache": self._decomposition_cache.stats(),
-            "route_cache": self._route_cache.stats(),
-            "batch_executor": self._batch_executor.stats(),
-        }
+        """Serving counters plus per-cache hit/miss/eviction statistics.
+
+        The snapshot is *consistent*: the serving counters and all three
+        caches' counters are read while holding every involved lock at
+        once (in a fixed order, so this cannot deadlock against the
+        serving path, which only ever holds one of them).  Under
+        concurrent traffic the totals therefore always reconcile -- e.g.
+        ``served == result_cache.requests`` can never tear across caches.
+        """
+        with self._counts_lock, self._result_cache.lock, \
+                self._decomposition_cache.lock, self._route_cache.lock:
+            return {
+                "served": self._served,
+                "computed": self._computed,
+                "routes_served": self._routes_served,
+                "routes_computed": self._routes_computed,
+                "result_cache": self._result_cache.stats_unlocked(),
+                "decomposition_cache": self._decomposition_cache.stats_unlocked(),
+                "route_cache": self._route_cache.stats_unlocked(),
+                "batch_executor": self._batch_executor.stats(),
+            }
+
+    def register_metrics(self, registry: "MetricsRegistry") -> "MetricsRegistry":
+        """Expose the service's live stats through a telemetry registry.
+
+        Everything is registered as callback-backed gauges reading the
+        counters the service already keeps -- no parallel bookkeeping, and
+        zero added work on the serving path (callbacks run only when a
+        snapshot or exporter collects).  Idempotent; re-registering after
+        a :meth:`rebase` rebinds the callbacks to the live objects.
+        """
+        gauge = registry.gauge
+        gauge(
+            "repro_service_served_total",
+            "Estimate requests answered (cache hits included)",
+            callback=lambda: self._served,
+        )
+        gauge(
+            "repro_service_computed_total",
+            "Estimates computed from scratch (result-cache misses)",
+            callback=lambda: self._computed,
+        )
+        gauge(
+            "repro_service_routes_served_total",
+            "Routing queries answered (cache hits included)",
+            callback=lambda: self._routes_served,
+        )
+        gauge(
+            "repro_service_routes_computed_total",
+            "Routing searches actually run (route-cache misses)",
+            callback=lambda: self._routes_computed,
+        )
+        caches = (
+            ("result", self._result_cache),
+            ("decomposition", self._decomposition_cache),
+            ("route", self._route_cache),
+        )
+        for cache_name, cache in caches:
+            labels = {"cache": cache_name}
+            gauge(
+                "repro_service_cache_hits_total",
+                "Cache lookups served from cache",
+                labels=labels,
+                callback=lambda c=cache: c.stats().hits,
+            )
+            gauge(
+                "repro_service_cache_misses_total",
+                "Cache lookups that missed",
+                labels=labels,
+                callback=lambda c=cache: c.stats().misses,
+            )
+            gauge(
+                "repro_service_cache_evictions_total",
+                "Entries evicted at capacity",
+                labels=labels,
+                callback=lambda c=cache: c.stats().evictions,
+            )
+            gauge(
+                "repro_service_cache_invalidations_total",
+                "Entries dropped by targeted invalidation",
+                labels=labels,
+                callback=lambda c=cache: c.stats().invalidations,
+            )
+            gauge(
+                "repro_service_cache_size",
+                "Entries currently cached",
+                labels=labels,
+                callback=lambda c=cache: len(c),
+            )
+        executor = self._batch_executor
+        gauge(
+            "repro_service_batches_total",
+            "Deduplicated batches executed",
+            callback=lambda: executor.stats()["batches"],
+        )
+        gauge(
+            "repro_service_batch_items_total",
+            "Work items executed across all batches",
+            callback=lambda: executor.stats()["items"],
+        )
+        gauge(
+            "repro_service_batch_pool_size",
+            "Threads in the persistent batch pool (0 = synchronous)",
+            callback=lambda: executor.stats()["pool_size"],
+        )
+        # The routing engine is built lazily; the callbacks tolerate its
+        # absence so registration order does not matter.
+        gauge(
+            "repro_routing_searches_total",
+            "Best-first routing searches run",
+            callback=lambda: self._route_engine.searches if self._route_engine else 0,
+        )
+        gauge(
+            "repro_routing_expansions_total",
+            "Frontier paths expanded across all searches",
+            callback=lambda: self._route_engine.expansions_total if self._route_engine else 0,
+        )
+        gauge(
+            "repro_routing_truncations_total",
+            "Searches that exhausted their expansion budget",
+            callback=lambda: self._route_engine.truncations if self._route_engine else 0,
+        )
+        gauge(
+            "repro_routing_bounds_index_computes_total",
+            "Reverse-Dijkstra bound computations (one per distinct target)",
+            callback=lambda: (
+                self._route_engine.bounds_index.n_computes if self._route_engine else 0
+            ),
+        )
+        return registry
 
     def result_cache_stats(self) -> CacheStats:
         return self._result_cache.stats()
@@ -343,7 +466,8 @@ class CostEstimationService:
         started = time.perf_counter()
         method = request.resolved_method(self.default_method)
         key = self.cache_key(request.path, request.departure_time_s, method)
-        self._served += 1
+        with self._counts_lock:
+            self._served += 1
         estimate = self._result_cache.get(key)
         if estimate is not None:
             return EstimateResponse(
@@ -358,7 +482,8 @@ class CostEstimationService:
         estimate, source = self._compute(key, request.path, request.departure_time_s, method, epoch)
         self._result_cache.put(key, estimate, guard=lambda: self._epoch == epoch)
         if source == SOURCE_COMPUTED:
-            self._computed += 1
+            with self._counts_lock:
+                self._computed += 1
         return EstimateResponse(
             request=request,
             estimate=estimate,
@@ -426,7 +551,8 @@ class CostEstimationService:
         for request in request_list:
             method = request.resolved_method(self.default_method)
             resolved.append((request, method, self.cache_key(request.path, request.departure_time_s, method)))
-        self._served += len(resolved)
+        with self._counts_lock:
+            self._served += len(resolved)
 
         responses: list[EstimateResponse | None] = [None] * len(resolved)
         scheduled: dict[CacheKey, tuple[Path, float, str]] = {}
@@ -454,10 +580,14 @@ class CostEstimationService:
             for key, query in scheduled.items()
         }
         computed = self._batch_executor.execute(work, max_workers=max_workers)
+        n_computed = 0
         for key, ((estimate, source), _duration) in computed.items():
             self._result_cache.put(key, estimate, guard=lambda: self._epoch == epoch)
             if source == SOURCE_COMPUTED:
-                self._computed += 1
+                n_computed += 1
+        if n_computed:
+            with self._counts_lock:
+                self._computed += n_computed
 
         for index, (request, method, key) in enumerate(resolved):
             if responses[index] is not None:
@@ -555,7 +685,8 @@ class CostEstimationService:
         started = time.perf_counter()
         method = request.resolved_method(self.default_method)
         key = self.route_cache_key(request)
-        self._routes_served += 1
+        with self._counts_lock:
+            self._routes_served += 1
         cached = self._route_cache.get(key)
         if cached is not None:
             return RouteResponse(
@@ -578,7 +709,8 @@ class CostEstimationService:
             max_expansions=request.max_expansions,
         )
         self._route_cache.put(key, result, guard=lambda: self._epoch == epoch)
-        self._routes_computed += 1
+        with self._counts_lock:
+            self._routes_computed += 1
         return RouteResponse(
             request=request,
             result=result,

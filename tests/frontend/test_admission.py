@@ -50,7 +50,7 @@ class TestOffer:
         assert result.admitted
         assert result.dropped is first
         assert not first.done()  # still the caller's to answer
-        _, batch = queue.take_batch(8, wait_timeout_s=0.0)
+        _, batch, _ = queue.take_batch(8, wait_timeout_s=0.0)
         assert batch == [second]
 
     def test_block_policy_waits_for_room(self, estimate_requests):
@@ -104,8 +104,8 @@ class TestTakeBatch:
         route = make_ticket(estimate_requests, lane=LANE_ROUTE)
         queue.offer(estimate)
         queue.offer(route)
-        lane_one, batch_one = queue.take_batch(8, wait_timeout_s=0.0)
-        lane_two, batch_two = queue.take_batch(8, wait_timeout_s=0.0)
+        lane_one, batch_one, _ = queue.take_batch(8, wait_timeout_s=0.0)
+        lane_two, batch_two, _ = queue.take_batch(8, wait_timeout_s=0.0)
         assert {lane_one, lane_two} == {LANE_ESTIMATE, LANE_ROUTE}
         assert len(batch_one) == len(batch_two) == 1
         # The first batch served the oldest head (the estimate arrived first).
@@ -115,7 +115,7 @@ class TestTakeBatch:
         queue = AdmissionQueue(capacity=16)
         for index in range(6):
             queue.offer(make_ticket(estimate_requests, index))
-        _, batch = queue.take_batch(4, wait_timeout_s=0.0)
+        _, batch, _ = queue.take_batch(4, wait_timeout_s=0.0)
         assert len(batch) == 4
         assert queue.depth() == 2
 
@@ -133,7 +133,7 @@ class TestTakeBatch:
 
         thread = threading.Thread(target=late_arrival)
         thread.start()
-        _, batch = queue.take_batch(4, linger_s=0.5, wait_timeout_s=0.1)
+        _, batch, _ = queue.take_batch(4, linger_s=0.5, wait_timeout_s=0.1)
         thread.join()
         assert len(batch) == 2
 
@@ -142,7 +142,7 @@ class TestTakeBatch:
         for index in range(4):
             queue.offer(make_ticket(estimate_requests, index))
         started = time.perf_counter()
-        _, batch = queue.take_batch(4, linger_s=5.0, wait_timeout_s=0.0)
+        _, batch, _ = queue.take_batch(4, linger_s=5.0, wait_timeout_s=0.0)
         assert len(batch) == 4
         assert time.perf_counter() - started < 1.0
 

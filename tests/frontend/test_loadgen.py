@@ -75,9 +75,39 @@ class TestPercentiles:
     def test_empty_input(self):
         assert percentiles([]) == {}
 
+    def test_single_sample_every_point_is_that_sample(self):
+        result = percentiles([3.5])
+        assert set(result) == {"p50", "p95", "p99", "p999"}
+        assert all(value == pytest.approx(3.5) for value in result.values())
+
+    def test_all_identical_samples(self):
+        result = percentiles([0.25] * 50)
+        assert all(value == pytest.approx(0.25) for value in result.values())
+
+    def test_p999_on_short_runs_stays_within_observed_range(self):
+        values = [1.0, 2.0, 3.0]
+        result = percentiles(values)
+        assert result["p999"] <= max(values)
+        assert result["p50"] <= result["p95"] <= result["p99"] <= result["p999"]
+
     def test_invalid_points(self):
         with pytest.raises(ValueError):
             percentiles([1.0], (101.0,))
+
+    def test_histogram_estimate_brackets_exact_percentiles(self):
+        # The telemetry histogram's bucket-interpolated estimates and the
+        # exact order-statistic percentiles must agree to within one
+        # bucket's relative width (~58% at 5 buckets/decade).
+        from repro.telemetry import LatencyHistogram
+
+        values = [0.0001 * (1.13**i) for i in range(80)]
+        hist = LatencyHistogram("latency_seconds")
+        for value in values:
+            hist.observe(value)
+        exact = percentiles(values)
+        estimated = hist.percentiles()
+        for point in ("p50", "p95", "p99"):
+            assert estimated[point] == pytest.approx(exact[point], rel=0.6)
 
     def test_bench_utils_delegates_here(self):
         sys.path.insert(0, str(BENCHMARKS_DIR))

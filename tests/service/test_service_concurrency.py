@@ -198,3 +198,55 @@ class TestThreadSafetyAudit:
         # on top of the direct traffic, so this is a floor rather than equality.
         assert stats["served"] >= 3 * 40 + 10 * len(query_paths)
         assert stats["routes_served"] == 5
+
+
+class TestConsistentStatsSnapshot:
+    def test_snapshots_never_tear_under_concurrent_traffic(
+        self, service, query_paths, simulator
+    ):
+        """stats() holds the counter lock and all three cache locks at once,
+        so every snapshot taken mid-traffic satisfies the cross-counter
+        invariants -- not just the final quiescent one."""
+        departure = simulator.popular_routes[0].busy_hour * 3600.0
+        stop = threading.Event()
+        errors: list[Exception] = []
+        snapshots: list[dict] = []
+
+        def submit_worker(offset):
+            try:
+                for index in range(60):
+                    path = query_paths[(index + offset) % len(query_paths)]
+                    service.submit(EstimateRequest(path, departure))
+            except Exception as error:  # pragma: no cover - the assertion
+                errors.append(error)
+            finally:
+                stop.set()
+
+        def snapshot_worker():
+            try:
+                while not stop.is_set():
+                    snapshots.append(service.stats())
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=submit_worker, args=(0,)),
+            threading.Thread(target=submit_worker, args=(3,)),
+            threading.Thread(target=snapshot_worker),
+            threading.Thread(target=snapshot_worker),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120.0)
+        assert not errors, f"concurrent stats raised: {errors!r}"
+        assert snapshots, "the snapshot workers never ran"
+        for stats in snapshots:
+            for cache_name in ("result_cache", "decomposition_cache", "route_cache"):
+                cache_stats = stats[cache_name]
+                assert cache_stats.hits + cache_stats.misses == cache_stats.requests
+            # served is incremented before the result-cache lookup, so an
+            # untorn snapshot can never show more lookups than submissions;
+            # and every computation was preceded by a result-cache miss.
+            assert stats["served"] >= stats["result_cache"].requests
+            assert stats["computed"] <= stats["result_cache"].misses

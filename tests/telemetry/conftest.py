@@ -1,0 +1,43 @@
+"""Telemetry test fixtures: a service + workload mirroring the front-end suite.
+
+The heavy inputs (network, store, hybrid graph) come from the top-level
+session-scoped fixtures; the service is rebuilt per test because its
+caches and counters are stateful.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CostEstimationService, EstimateRequest, PathCostEstimator
+
+
+@pytest.fixture
+def estimator(hybrid_graph):
+    return PathCostEstimator(hybrid_graph)
+
+
+@pytest.fixture
+def service(estimator):
+    return CostEstimationService(estimator)
+
+
+@pytest.fixture(scope="session")
+def query_paths(simulator):
+    """A handful of distinct paths along the simulated corridors."""
+    paths, seen = [], set()
+    for route in simulator.popular_routes:
+        for length in range(2, len(route.path) + 1):
+            path = route.path.prefix(length)
+            if path.edge_ids not in seen:
+                seen.add(path.edge_ids)
+                paths.append(path)
+            if len(paths) >= 12:
+                return paths
+    return paths
+
+
+@pytest.fixture
+def estimate_requests(query_paths, busy_query):
+    _, departure = busy_query
+    return [EstimateRequest(path, departure) for path in query_paths]

@@ -1,0 +1,178 @@
+"""Tests for the exporters: Prometheus text rendering, parsing, JSON-lines."""
+
+import json
+import math
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import TelemetryError
+from repro.telemetry import (
+    MetricsRegistry,
+    StatsReporter,
+    Telemetry,
+    parse_prometheus_text,
+    render_prometheus,
+)
+
+GOLDEN = Path(__file__).parent / "data" / "prometheus_golden.txt"
+
+
+def build_deterministic_registry() -> MetricsRegistry:
+    """A small registry with fixed values: the golden-file subject."""
+    registry = MetricsRegistry()
+    registry.counter("repro_frontend_ok_total", "Requests answered ok").inc(42)
+    registry.gauge(
+        "repro_service_cache_size",
+        "Entries cached",
+        labels={"cache": "result"},
+        callback=lambda: 7,
+    )
+    registry.gauge(
+        "repro_service_cache_size",
+        labels={"cache": "route"},
+        callback=lambda: 3,
+    )
+    hist = registry.histogram(
+        "repro_frontend_latency_seconds",
+        "Submit-to-answer latency",
+        labels={"lane": "estimate"},
+        bounds=(0.001, 0.01, 0.1, 1.0),
+    )
+    for value in (0.0005, 0.005, 0.005, 0.05, 2.0):
+        hist.observe(value)
+    return registry
+
+
+class TestRenderPrometheus:
+    def test_matches_golden_file(self):
+        rendered = render_prometheus(build_deterministic_registry())
+        assert rendered == GOLDEN.read_text(encoding="utf-8")
+
+    def test_round_trips_through_parser(self):
+        rendered = render_prometheus(build_deterministic_registry())
+        series = parse_prometheus_text(rendered)
+        assert series["repro_frontend_ok_total"] == 42
+        assert series['repro_service_cache_size{cache="result"}'] == 7
+        assert series['repro_service_cache_size{cache="route"}'] == 3
+        assert series['repro_frontend_latency_seconds_bucket{lane="estimate",le="+Inf"}'] == 5
+        assert series['repro_frontend_latency_seconds_count{lane="estimate"}'] == 5
+        assert series['repro_frontend_latency_seconds_sum{lane="estimate"}'] == pytest.approx(
+            2.0605
+        )
+
+    def test_histogram_buckets_are_cumulative(self):
+        rendered = render_prometheus(build_deterministic_registry())
+        series = parse_prometheus_text(rendered)
+        buckets = [
+            value
+            for key, value in series.items()
+            if key.startswith("repro_frontend_latency_seconds_bucket")
+        ]
+        assert buckets == sorted(buckets)
+
+    def test_nan_gauge_renders_and_parses(self):
+        registry = MetricsRegistry()
+
+        def explode():
+            raise RuntimeError("gone")
+
+        registry.gauge("repro_dead", callback=explode)
+        series = parse_prometheus_text(render_prometheus(registry))
+        assert math.isnan(series["repro_dead"])
+
+    def test_label_values_escape(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total", labels={"path": 'a"b\\c'}).inc()
+        rendered = render_prometheus(registry)
+        assert '\\"' in rendered and "\\\\" in rendered
+        series = parse_prometheus_text(rendered)
+        assert len(series) == 1
+
+    def test_empty_registry_renders_empty(self):
+        assert parse_prometheus_text(render_prometheus(MetricsRegistry())) == {}
+
+
+class TestParsePrometheusText:
+    def test_rejects_malformed_line(self):
+        with pytest.raises(TelemetryError):
+            parse_prometheus_text("this is not a metric line\n")
+
+    def test_rejects_bad_value(self):
+        with pytest.raises(TelemetryError):
+            parse_prometheus_text("repro_x_total banana\n")
+
+    def test_rejects_duplicate_series(self):
+        with pytest.raises(TelemetryError):
+            parse_prometheus_text("repro_x_total 1\nrepro_x_total 2\n")
+
+    def test_skips_comments_and_blanks(self):
+        text = "# HELP repro_x_total help\n# TYPE repro_x_total counter\n\nrepro_x_total 1\n"
+        assert parse_prometheus_text(text) == {"repro_x_total": 1.0}
+
+
+class TestStatsReporter:
+    def test_appends_json_lines(self, tmp_path):
+        path = tmp_path / "stats" / "report.jsonl"
+        calls = {"n": 0}
+
+        def snapshot():
+            calls["n"] += 1
+            return {"ok": calls["n"]}
+
+        reporter = StatsReporter(snapshot, path, period_s=0.01)
+        with reporter:
+            time.sleep(0.05)
+        lines = path.read_text(encoding="utf-8").strip().splitlines()
+        assert len(lines) == reporter.lines_written
+        assert len(lines) >= 2  # periodic lines plus the final flush
+        for line in lines:
+            payload = json.loads(line)
+            assert payload["ok"] >= 1
+            assert payload["ts"] > 0
+            assert payload["elapsed_s"] >= 0
+
+    def test_short_run_still_writes_final_line(self, tmp_path):
+        path = tmp_path / "report.jsonl"
+        reporter = StatsReporter(lambda: {"ok": 1}, path, period_s=60.0)
+        reporter.start()
+        assert reporter.stop() == 1
+        assert len(path.read_text(encoding="utf-8").strip().splitlines()) == 1
+
+    def test_double_start_raises(self, tmp_path):
+        reporter = StatsReporter(lambda: {}, tmp_path / "r.jsonl", period_s=0.5)
+        reporter.start()
+        try:
+            with pytest.raises(TelemetryError):
+                reporter.start()
+        finally:
+            reporter.stop()
+
+    def test_invalid_period(self, tmp_path):
+        with pytest.raises(TelemetryError):
+            StatsReporter(lambda: {}, tmp_path / "r.jsonl", period_s=0.0)
+
+
+class TestTelemetryHub:
+    def test_snapshot_shape(self):
+        hub = Telemetry()
+        hub.registry.counter("repro_x_total").inc(2)
+        trace = hub.tracer.maybe_trace("estimate")
+        hub.tracer.finish(trace, "ok")
+        snap = hub.snapshot()
+        assert snap["metrics"]["repro_x_total"] == 2
+        assert snap["traces"]["started"] == 1
+        assert snap["traces"]["finished"] == 1
+        assert snap["traces"]["slow_log_size"] == 1
+        assert hub.slow_queries()[0]["status"] == "ok"
+
+    def test_render_prometheus(self):
+        hub = Telemetry()
+        hub.registry.counter("repro_x_total").inc()
+        assert "repro_x_total 1" in hub.render_prometheus()
+
+    def test_reporter_uses_configured_period(self, tmp_path):
+        hub = Telemetry()
+        reporter = hub.reporter(tmp_path / "r.jsonl")
+        assert reporter._period_s == hub.parameters.reporter_period_s
