@@ -1,0 +1,257 @@
+"""Kernel backend scaling: serial vs fused vs threaded tiles on the fold path.
+
+The dispatch layer (:mod:`repro.histograms.backends`) promises two things
+this benchmark measures and enforces:
+
+* **fused fold throughput** -- the single-pass grid-deposition fold
+  (:func:`~repro.histograms.kernels.rearrange_convolve_coarsen`) against
+  the unfused ``convolve_accumulate`` on a fold-heavy batched-estimation
+  workload (many paths x many per-edge histograms, the Figure-16 regime);
+* **threaded tile scaling** -- the threaded backend across 1/2/4 workers,
+  with outputs **bit-identical** to the serial backend at every width
+  (the determinism contract the property suite pins).
+
+Acceptance: threaded+fused at >= 4 workers reaches >= 2x the serial
+(unfused) backend's path-fold throughput.  On a single-core machine the
+fused kernel's algorithmic gain carries this; the per-worker scaling curve
+is still reported, stamped with ``cpu_count`` so committed numbers are
+attributable to the machine that produced them.
+
+A second section times the tiled ``batch_cdf`` against the one-shot
+kernel and checks bit-identity tile-by-tile.
+
+Results go to ``benchmarks/results/kernel_backends.{txt,json}``; the JSON
+carries the BLAS guard record (mechanism, effective thread env) via the
+shared environment stamp.
+
+Run ``PYTHONPATH=src python benchmarks/bench_kernel_backends.py`` (add
+``--smoke`` for the CI budget configuration).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from _bench_utils import cpu_count, write_result, write_result_json
+
+import numpy as np
+
+from repro.histograms import kernels
+from repro.histograms.backends import (
+    FusedFoldBackend,
+    SerialNumpyBackend,
+    ThreadedTileBackend,
+)
+
+PRESETS = {
+    "smoke": dict(
+        n_paths=12,
+        components_per_path=12,
+        component_buckets=24,
+        max_buckets=64,
+        fold_rounds=2,
+        cdf_histograms=512,
+        cdf_rounds=3,
+        worker_widths=(1, 2, 4),
+        min_speedup=1.0,
+    ),
+    "default": dict(
+        n_paths=48,
+        components_per_path=30,
+        component_buckets=32,
+        max_buckets=64,
+        fold_rounds=5,
+        cdf_histograms=4096,
+        cdf_rounds=10,
+        worker_widths=(1, 2, 4),
+        min_speedup=2.0,
+    ),
+}
+
+
+def gamma_triple(n_buckets: int, rng: np.random.Generator) -> kernels.Triple:
+    """A realistic travel-cost histogram (gamma-shaped) as a kernel triple."""
+    values = rng.gamma(4.0, 30.0, 2000) + 10.0
+    edges = np.linspace(values.min(), values.max() + 1e-6, n_buckets + 1)
+    counts, _ = np.histogram(values, bins=edges)
+    probs = counts / counts.sum()
+    return edges[:-1].copy(), edges[1:].copy(), probs
+
+
+def build_paths(preset: dict, seed: int = 3):
+    """The fold workload: ``n_paths`` paths of per-edge histogram triples."""
+    rng = np.random.default_rng(seed)
+    return [
+        [gamma_triple(preset["component_buckets"], rng) for _ in range(preset["components_per_path"])]
+        for _ in range(preset["n_paths"])
+    ]
+
+
+def time_fold(backend, paths, max_buckets: int, rounds: int) -> tuple[float, list]:
+    """Per-round fold time (seconds) and the last round's results."""
+    results = backend.fold_paths(paths, max_buckets=max_buckets)  # warm
+    started = time.perf_counter()
+    for _ in range(rounds):
+        results = backend.fold_paths(paths, max_buckets=max_buckets)
+    return (time.perf_counter() - started) / rounds, results
+
+
+def assert_bit_identical(expected, got, label: str) -> None:
+    for expected_triple, got_triple in zip(expected, got):
+        for expected_column, got_column in zip(expected_triple, got_triple):
+            assert np.array_equal(expected_column, got_column), (
+                f"{label}: threaded fold is not bit-identical to its serial strategy"
+            )
+
+
+def bench_path_folds(preset: dict) -> dict:
+    """The scaling curve: serial, fused, threaded+fused at 1/2/4 workers."""
+    paths = build_paths(preset)
+    n_paths = len(paths)
+    max_buckets = preset["max_buckets"]
+    rounds = preset["fold_rounds"]
+
+    serial = SerialNumpyBackend()
+    serial_s, serial_results = time_fold(serial, paths, max_buckets, rounds)
+
+    fused = FusedFoldBackend()
+    fused_s, fused_results = time_fold(fused, paths, max_buckets, rounds)
+
+    # The two folds are distinct approximations of the same distribution:
+    # check they agree on mass and mean before comparing their speed.
+    for serial_triple, fused_triple in zip(serial_results, fused_results):
+        assert abs(serial_triple[2].sum() - fused_triple[2].sum()) < 1e-6
+        serial_mean = kernels.mean(*serial_triple)
+        fused_mean = kernels.mean(*fused_triple)
+        assert abs(serial_mean - fused_mean) / max(abs(serial_mean), 1e-9) < 1e-3, (
+            "fused and unfused folds diverged on the benchmark workload"
+        )
+
+    curve = {}
+    for workers in preset["worker_widths"]:
+        backend = ThreadedTileBackend(max_workers=workers, fused_folds=True)
+        try:
+            threaded_s, threaded_results = time_fold(backend, paths, max_buckets, rounds)
+        finally:
+            backend.close()
+        assert_bit_identical(fused_results, threaded_results, f"workers={workers}")
+        curve[workers] = {
+            "s_per_round": threaded_s,
+            "paths_per_s": n_paths / threaded_s,
+            "speedup_vs_serial": serial_s / threaded_s,
+        }
+
+    return {
+        "n_paths": n_paths,
+        "components_per_path": preset["components_per_path"],
+        "serial": {"s_per_round": serial_s, "paths_per_s": n_paths / serial_s},
+        "fused": {
+            "s_per_round": fused_s,
+            "paths_per_s": n_paths / fused_s,
+            "speedup_vs_serial": serial_s / fused_s,
+        },
+        "threaded_fused": {str(workers): row for workers, row in curve.items()},
+        "best_speedup_vs_serial": max(row["speedup_vs_serial"] for row in curve.values()),
+    }
+
+
+def bench_batch_cdf(preset: dict) -> dict:
+    """Tiled batch_cdf vs the one-shot kernel (bit-identity enforced)."""
+    rng = np.random.default_rng(11)
+    histograms = [
+        gamma_triple(int(rng.integers(8, 33)), rng)
+        for _ in range(preset["cdf_histograms"])
+    ]
+    values = np.array(
+        [rng.uniform(triple[0][0], triple[1][-1]) for triple in histograms]
+    )
+    rounds = preset["cdf_rounds"]
+
+    expected = kernels.batch_cdf(histograms, values)  # warm + reference
+    started = time.perf_counter()
+    for _ in range(rounds):
+        kernels.batch_cdf(histograms, values)
+    serial_s = (time.perf_counter() - started) / rounds
+
+    curve = {}
+    for workers in preset["worker_widths"]:
+        backend = ThreadedTileBackend(max_workers=workers, tile_size=256)
+        try:
+            got = backend.batch_cdf(histograms, values)  # warm
+            started = time.perf_counter()
+            for _ in range(rounds):
+                backend.batch_cdf(histograms, values)
+            threaded_s = (time.perf_counter() - started) / rounds
+        finally:
+            backend.close()
+        assert np.array_equal(got, expected), (
+            f"tiled batch_cdf (workers={workers}) is not bit-identical to the one-shot kernel"
+        )
+        curve[workers] = {
+            "s_per_round": threaded_s,
+            "speedup_vs_serial": serial_s / threaded_s,
+        }
+
+    return {
+        "n_histograms": preset["cdf_histograms"],
+        "serial_s_per_round": serial_s,
+        "threaded": {str(workers): row for workers, row in curve.items()},
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="CI budget mode (small workload, same checks)"
+    )
+    args = parser.parse_args(argv)
+    preset_name = "smoke" if args.smoke else "default"
+    preset = PRESETS[preset_name]
+
+    folds = bench_path_folds(preset)
+    cdf = bench_batch_cdf(preset)
+
+    lines = [
+        f"kernel backend scaling ({preset_name} preset, cpu_count={cpu_count()})",
+        "",
+        f"path folds ({folds['n_paths']} paths x {folds['components_per_path']} components, "
+        f"max_buckets={preset['max_buckets']}):",
+        f"  serial (unfused)  : {folds['serial']['paths_per_s']:8.1f} paths/s",
+        f"  fused             : {folds['fused']['paths_per_s']:8.1f} paths/s "
+        f"-> {folds['fused']['speedup_vs_serial']:5.2f}x vs serial",
+    ]
+    for workers, row in folds["threaded_fused"].items():
+        lines.append(
+            f"  threaded+fused x{workers}: {row['paths_per_s']:8.1f} paths/s "
+            f"-> {row['speedup_vs_serial']:5.2f}x vs serial"
+        )
+    lines += [
+        f"  acceptance        : >= {preset['min_speedup']:.1f}x vs serial "
+        f"(best: {folds['best_speedup_vs_serial']:.2f}x)",
+        "",
+        f"batch_cdf ({cdf['n_histograms']} histograms, tile_size=256):",
+        f"  one-shot kernel   : {cdf['serial_s_per_round'] * 1e3:8.2f} ms/round",
+    ]
+    for workers, row in cdf["threaded"].items():
+        lines.append(
+            f"  threaded tiles x{workers}: {row['s_per_round'] * 1e3:8.2f} ms/round "
+            f"-> {row['speedup_vs_serial']:5.2f}x (bit-identical)"
+        )
+
+    write_result("kernel_backends", "\n".join(lines))
+    write_result_json(
+        "kernel_backends",
+        {"preset": preset_name, "path_folds": folds, "batch_cdf": cdf},
+    )
+
+    assert folds["best_speedup_vs_serial"] >= preset["min_speedup"], (
+        f"threaded+fused best speedup only {folds['best_speedup_vs_serial']:.2f}x "
+        f"(need >= {preset['min_speedup']:.1f}x vs serial)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,16 @@ loop implementations the kernels are property-tested against.
 """
 
 from . import kernels
+from .backends import (
+    BackendDispatcher,
+    FusedFoldBackend,
+    KernelBackend,
+    SerialNumpyBackend,
+    ThreadedTileBackend,
+    available_backends,
+    create_backend,
+    register_backend,
+)
 from .raw import RawDistribution, raw_from_pairs
 from .vopt import (
     equal_width_boundaries,
@@ -39,18 +49,25 @@ from .divergence import (
 )
 
 __all__ = [
+    "BackendDispatcher",
     "Bucket",
     "ExponentialFit",
+    "FusedFoldBackend",
     "GammaFit",
     "GaussianFit",
     "Histogram1D",
     "HyperBucket",
+    "KernelBackend",
     "MultiHistogram",
     "RawDistribution",
+    "SerialNumpyBackend",
+    "ThreadedTileBackend",
     "auto_bucket_count",
+    "available_backends",
     "build_auto_histogram",
     "build_static_histogram",
     "convolve_many",
+    "create_backend",
     "cross_validated_error",
     "cross_validated_errors",
     "earth_movers_distance",
@@ -64,6 +81,7 @@ __all__ = [
     "prob_at_most_many",
     "raw_from_pairs",
     "rearrange_buckets",
+    "register_backend",
     "total_variation_distance",
     "v_optimal_all_boundaries",
     "v_optimal_boundaries",

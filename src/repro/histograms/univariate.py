@@ -465,7 +465,11 @@ class Histogram1D:
         return f"Histogram1D({parts})"
 
 
-def convolve_many(histograms: Sequence[Histogram1D], max_buckets: int | None = 64) -> Histogram1D:
+def convolve_many(
+    histograms: Sequence[Histogram1D],
+    max_buckets: int | None = 64,
+    backend=None,
+) -> Histogram1D:
     """Convolve a sequence of independent cost histograms (path fold).
 
     The fold keeps a wider working resolution while accumulating and
@@ -473,14 +477,19 @@ def convolve_many(histograms: Sequence[Histogram1D], max_buckets: int | None = 6
     (:func:`repro.histograms.kernels.convolve_accumulate`), so the
     equal-width regridding error no longer compounds along long paths the
     way the legacy per-step truncation did.
+
+    ``backend`` (a :class:`repro.histograms.backends.KernelBackend`)
+    overrides the execution strategy -- e.g. the fused single-pass fold or
+    threaded tiles; ``None`` keeps the serial kernel.
     """
     if not histograms:
         raise HistogramError("need at least one histogram to convolve")
-    return Histogram1D._from_trusted_arrays(
-        *kernels.convolve_accumulate(
-            [histogram.as_triple() for histogram in histograms], max_buckets=max_buckets
-        )
-    )
+    triples = [histogram.as_triple() for histogram in histograms]
+    if backend is not None:
+        folded = backend.fold_path(triples, max_buckets=max_buckets)
+    else:
+        folded = kernels.convolve_accumulate(triples, max_buckets=max_buckets)
+    return Histogram1D._from_trusted_arrays(*folded)
 
 
 def prob_at_most_many(histograms: Sequence[Histogram1D], budget: float) -> np.ndarray:

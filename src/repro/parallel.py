@@ -1,0 +1,250 @@
+"""Shared worker-pool and machine-resource helpers.
+
+Three concerns live here because every layer that parallelises needs all
+three together:
+
+* :class:`WorkerPool` -- one lazily created, growable, shareable
+  ``ThreadPoolExecutor``.  The batch executor and the threaded kernel
+  backend (:mod:`repro.histograms.backends`) hang off the *same* pool when
+  owned by one :class:`~repro.service.CostEstimationService`, so the
+  process runs one set of worker threads instead of one per subsystem.
+* :func:`limit_blas_threads` -- a best-effort guard against BLAS
+  oversubscription.  numpy's BLAS may spin up one thread per core for
+  every array call; running that under a thread pool multiplies threads
+  (pool workers x BLAS threads) and *slows things down*.  The guard pins
+  BLAS to one thread per call so the pool owns the parallelism.
+* :func:`available_memory_bytes` / :func:`total_memory_bytes` -- what the
+  memory-adaptive caches size their byte budgets against.
+
+Nothing here imports numpy, so :func:`limit_blas_threads` can run before
+numpy loads its BLAS (the only point at which the environment-variable
+route is guaranteed to work).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Environment variables the common BLAS/OpenMP builds read their thread
+#: count from.  Set before numpy import they are authoritative; set after,
+#: they only affect subprocesses (threadpoolctl, when present, still works).
+BLAS_THREAD_ENV_VARS = (
+    "OMP_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+    "VECLIB_MAXIMUM_THREADS",
+)
+
+
+def cpu_count() -> int:
+    """Usable CPUs (affinity-aware where the platform exposes it)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def limit_blas_threads(n_threads: int = 1) -> dict[str, object]:
+    """Pin BLAS/OpenMP pools to ``n_threads`` per call (best effort).
+
+    Two mechanisms, in order of strength:
+
+    1. ``threadpoolctl`` (when importable): adjusts the already-loaded
+       BLAS at runtime -- works regardless of import order.
+    2. The :data:`BLAS_THREAD_ENV_VARS` environment variables: set with
+       ``setdefault`` (an operator's explicit setting wins) -- only
+       authoritative when this runs *before* numpy first loads its BLAS.
+
+    Returns a record of what was applied (mechanism, the effective
+    variable values, and whether numpy was already imported), which the
+    benchmark harness stamps into its result JSONs so committed numbers
+    stay attributable to the thread regime that produced them.
+    """
+    if n_threads < 1:
+        raise ValueError(f"n_threads must be >= 1, got {n_threads}")
+    value = str(int(n_threads))
+    applied_env: dict[str, str] = {}
+    for var in BLAS_THREAD_ENV_VARS:
+        applied_env[var] = os.environ.setdefault(var, value)
+    numpy_preloaded = "numpy" in sys.modules
+    mechanism = "env"
+    try:  # pragma: no cover - threadpoolctl is not in the pinned image
+        import threadpoolctl
+
+        threadpoolctl.threadpool_limits(limits=int(n_threads))
+        mechanism = "threadpoolctl"
+    except Exception:
+        pass
+    return {
+        "requested_threads": int(n_threads),
+        "mechanism": mechanism,
+        "env": applied_env,
+        "numpy_preloaded": numpy_preloaded,
+        "cpu_count": cpu_count(),
+    }
+
+
+def blas_thread_env() -> dict[str, str | None]:
+    """The current values of the BLAS thread environment variables."""
+    return {var: os.environ.get(var) for var in BLAS_THREAD_ENV_VARS}
+
+
+def total_memory_bytes() -> int | None:
+    """Physical memory of the machine, or ``None`` when undeterminable."""
+    return _meminfo_bytes("MemTotal") or _sysconf_total()
+
+
+def available_memory_bytes() -> int | None:
+    """Memory the kernel estimates is available without swapping.
+
+    Reads ``MemAvailable`` from ``/proc/meminfo`` (Linux); falls back to
+    total physical memory, then ``None``.  The memory-adaptive caches
+    treat ``None`` as "unknown" and keep their configured budgets.
+    """
+    return _meminfo_bytes("MemAvailable") or total_memory_bytes()
+
+
+def _meminfo_bytes(field: str) -> int | None:
+    try:
+        with open("/proc/meminfo", "r", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith(field + ":"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):  # pragma: no cover - non-Linux
+        return None
+    return None
+
+
+def _sysconf_total() -> int | None:  # pragma: no cover - /proc fallback
+    try:
+        return int(os.sysconf("SC_PAGE_SIZE")) * int(os.sysconf("SC_PHYS_PAGES"))
+    except (AttributeError, ValueError, OSError):
+        return None
+
+
+class WorkerPool:
+    """A lazily created, growable, shareable thread pool.
+
+    The pool is created on the first :meth:`ensure` call and grown
+    (rebuilt wider) when a later call asks for more workers; callers that
+    share one ``WorkerPool`` therefore share one set of threads.  After
+    :meth:`close`, :meth:`ensure` returns ``None`` and callers fall back
+    to synchronous execution -- closing is a graceful degradation, never
+    an error.
+
+    Thread-safe.  :attr:`size` / :attr:`pools_created` expose the live
+    geometry for stats and telemetry.
+    """
+
+    def __init__(self, name: str = "repro-pool") -> None:
+        self._name = name
+        self._lock = threading.Lock()
+        self._pool: ThreadPoolExecutor | None = None
+        self._size = 0
+        self._pools_created = 0
+        self._closed = False
+
+    @property
+    def size(self) -> int:
+        """Threads in the live pool (0 before first use / after close)."""
+        with self._lock:
+            return self._size
+
+    @property
+    def pools_created(self) -> int:
+        """How many times the underlying executor was (re)built."""
+        with self._lock:
+            return self._pools_created
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def ensure(self, workers: int) -> ThreadPoolExecutor | None:
+        """The shared executor, grown to at least ``workers`` threads.
+
+        Returns ``None`` when the pool is closed or ``workers < 1`` --
+        callers run the work synchronously in that case.
+        """
+        if workers < 1:
+            return None
+        with self._lock:
+            if self._closed:
+                return None
+            if self._pool is None or self._size < workers:
+                old = self._pool
+                self._pool = ThreadPoolExecutor(
+                    max_workers=workers, thread_name_prefix=self._name
+                )
+                self._size = workers
+                self._pools_created += 1
+            else:
+                old = None
+        if old is not None:
+            # Outside the lock: in-flight futures on the old pool finish.
+            old.shutdown(wait=False)
+        return self._pool
+
+    def map_ordered(
+        self,
+        function: Callable[[T], R],
+        items: Sequence[T],
+        workers: int,
+        chunk_size: int | None = None,
+    ) -> list[R]:
+        """``[function(item) for item in items]`` fanned out on the pool.
+
+        Items are split into contiguous chunks (``chunk_size`` items per
+        task, default ``ceil(len / (4 * workers))``) so task overhead is
+        amortised; results are reassembled in input order.  Falls back to
+        a serial loop when the pool is closed, ``workers < 2``, or the
+        batch is too small to split.
+        """
+        n_items = len(items)
+        pool = self.ensure(workers) if n_items > 1 and workers > 1 else None
+        if pool is None:
+            return [function(item) for item in items]
+        if chunk_size is None:
+            chunk_size = max(1, -(-n_items // (4 * workers)))
+        spans = [(start, min(start + chunk_size, n_items)) for start in range(0, n_items, chunk_size)]
+        if len(spans) < 2:
+            return [function(item) for item in items]
+
+        def _run_span(span: tuple[int, int]) -> list[R]:
+            start, stop = span
+            return [function(items[index]) for index in range(start, stop)]
+
+        futures = [pool.submit(_run_span, span) for span in spans]
+        results: list[R] = []
+        for future in futures:
+            results.extend(future.result())
+        return results
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent); later ``ensure`` calls return None."""
+        with self._lock:
+            self._closed = True
+            pool = self._pool
+            self._pool = None
+            self._size = 0
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        state = "closed" if self.closed else f"size={self.size}"
+        return f"WorkerPool({self._name!r}, {state})"

@@ -6,14 +6,16 @@ requests, or requests that collapse onto the same cache key because they
 fall into the same alpha-interval.  The executor runs each distinct piece
 of work exactly once and shares the result with every requester.
 
-The thread pool is *persistent*: it is created lazily on the first parallel
-``execute`` and reused for every subsequent batch.  Creating a
-``ThreadPoolExecutor`` per batch (the previous behaviour) costs thread
-spawns plus teardown on every call -- roughly a millisecond per batch,
-which under the serving front-end's small coalesced batches was comparable
-to the work itself.  The pool grows if a later call asks for more workers
-and is torn down by :meth:`close` (the owning service calls it from its own
-``close``).
+The threads come from a :class:`~repro.parallel.WorkerPool` -- lazily
+created on the first parallel ``execute``, reused for every subsequent
+batch, and *shareable*: the owning service passes the same pool to the
+threaded kernel backend (:mod:`repro.histograms.backends`), so batch
+fan-out and kernel tiles draw from one set of worker threads instead of
+one pool per subsystem.  (Creating a ``ThreadPoolExecutor`` per batch, the
+original behaviour, cost roughly a millisecond per batch -- comparable to
+the work itself under the serving front-end's small coalesced batches.)
+The pool grows if a later call asks for more workers and is torn down by
+:meth:`close` (the owning service calls it from its own ``close``).
 
 Execution order is deterministic for the synchronous executor; with a
 thread pool the *results* are still deterministic for the deterministic
@@ -25,10 +27,10 @@ from __future__ import annotations
 
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Hashable, Mapping, TypeVar
 
 from ..exceptions import ServiceError
+from ..parallel import WorkerPool
 
 K = TypeVar("K", bound=Hashable)
 V = TypeVar("V")
@@ -38,27 +40,30 @@ class BatchExecutor:
     """Executes a mapping of keyed work items, each exactly once.
 
     ``max_workers == 0`` runs the work synchronously on the calling thread;
-    any larger value fans out on a persistent :class:`ThreadPoolExecutor`
-    of at most that many threads (created on first use, reused across
-    batches).  A per-call override widens the pool if it asks for more
-    threads than the pool currently has.
+    any larger value fans out on the worker pool (created on first use,
+    reused across batches).  A per-call override widens the pool if it asks
+    for more threads than the pool currently has.
 
-    Thread-safe: concurrent ``execute`` calls share the pool.  After
-    :meth:`close` the executor falls back to synchronous execution --
-    results stay correct, only the parallelism is gone.
+    ``pool`` injects a shared :class:`~repro.parallel.WorkerPool`; without
+    one the executor creates (and owns) its own.  Thread-safe: concurrent
+    ``execute`` calls share the pool.  After :meth:`close` the executor
+    falls back to synchronous execution -- results stay correct, only the
+    parallelism is gone.
     """
 
-    def __init__(self, max_workers: int = 0) -> None:
+    def __init__(self, max_workers: int = 0, pool: WorkerPool | None = None) -> None:
         if max_workers < 0:
             raise ServiceError(f"max_workers must be >= 0, got {max_workers}")
         self.max_workers = max_workers
+        self._pool = pool or WorkerPool(name="repro-batch")
         self._lock = threading.Lock()
-        self._pool: ThreadPoolExecutor | None = None
-        self._pool_size = 0
-        self._pools_created = 0
-        self._closed = False
         self._batches = 0
         self._items = 0
+
+    @property
+    def pool(self) -> WorkerPool:
+        """The worker pool batches fan out on (shared or owned)."""
+        return self._pool
 
     def execute(
         self,
@@ -81,40 +86,15 @@ class BatchExecutor:
         if not work:
             return {}
         if workers > 0 and len(work) > 1:
-            pool = self._ensure_pool(workers)
+            pool = self._pool.ensure(workers)
             if pool is not None:
                 futures = {key: pool.submit(_timed, thunk) for key, thunk in work.items()}
                 return {key: future.result() for key, future in futures.items()}
         return {key: _timed(thunk) for key, thunk in work.items()}
 
-    def _ensure_pool(self, workers: int) -> ThreadPoolExecutor | None:
-        """The shared pool, grown to at least ``workers`` threads (None when closed)."""
-        with self._lock:
-            if self._closed:
-                return None
-            if self._pool is None or self._pool_size < workers:
-                old = self._pool
-                self._pool = ThreadPoolExecutor(
-                    max_workers=workers, thread_name_prefix="repro-batch"
-                )
-                self._pool_size = workers
-                self._pools_created += 1
-            else:
-                old = None
-        if old is not None:
-            # Outside the lock: in-flight futures on the old pool finish.
-            old.shutdown(wait=False)
-        return self._pool
-
     def close(self) -> None:
         """Shut the pool down (idempotent); later batches run synchronously."""
-        with self._lock:
-            self._closed = True
-            pool = self._pool
-            self._pool = None
-            self._pool_size = 0
-        if pool is not None:
-            pool.shutdown(wait=True)
+        self._pool.close()
 
     def __enter__(self) -> "BatchExecutor":
         return self
@@ -123,17 +103,19 @@ class BatchExecutor:
         self.close()
 
     def stats(self) -> dict[str, int]:
-        """Usage counters: batches / items executed, pool size and rebuilds."""
+        """Usage counters: batches / items executed, pool geometry, config."""
         with self._lock:
-            return {
-                "batches": self._batches,
-                "items": self._items,
-                "pool_size": self._pool_size,
-                "pools_created": self._pools_created,
-            }
+            batches, items = self._batches, self._items
+        return {
+            "batches": batches,
+            "items": items,
+            "pool_size": self._pool.size,
+            "pools_created": self._pool.pools_created,
+            "max_workers": self.max_workers,
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
-        state = "closed" if self._closed else f"pool={self._pool_size}"
+        state = "closed" if self._pool.closed else f"pool={self._pool.size}"
         return f"BatchExecutor(max_workers={self.max_workers}, {state})"
 
 

@@ -47,12 +47,15 @@ import time
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Iterable, Sequence
 
+import numpy as np
+
 from ..config import ServiceParameters
 from ..core.estimator import CostEstimate, PathCostEstimator
-from ..histograms.univariate import prob_at_most_many
 from ..core.hybrid_graph import HybridGraph
 from ..core.joint import PropagatedJoint
 from ..exceptions import ServiceError
+from ..histograms.backends import BackendDispatcher
+from ..parallel import WorkerPool, available_memory_bytes
 from ..roadnet.path import Path
 from ..routing.engine import RouteRequest, RouteResponse, RouteResult, RoutingEngine
 from ..timeutil import interval_of
@@ -79,6 +82,23 @@ CacheKey = tuple[tuple[int, ...], int, str]
 #: Route-cache key: (source, target, alpha-interval index, budget, method,
 #: probability threshold, per-request search-limit overrides).
 RouteKey = tuple[int, int, int, float, str, float, int | None, int | None]
+
+
+def _estimate_nbytes(estimate: CostEstimate) -> int:
+    """Byte price of a cached estimate: its histogram's array footprint."""
+    return estimate.histogram.nbytes
+
+
+def _joint_nbytes(joint: PropagatedJoint) -> int:
+    """Byte price of a cached decomposition: the joint's array footprint."""
+    return joint.nbytes
+
+
+def _route_nbytes(result: RouteResult) -> int:
+    """Byte price of a cached route: the winning path's edge ids (or a token)."""
+    if result.path is None:
+        return 64
+    return 64 + 8 * len(result.path.edge_ids)
 
 
 @dataclass(frozen=True)
@@ -144,13 +164,19 @@ class CostEstimationService:
         self._epoch = 0
         self._epoch_lock = threading.Lock()
         self._result_cache: EstimateCache[CacheKey, CostEstimate] = EstimateCache(
-            self.parameters.result_cache_capacity
+            self.parameters.result_cache_capacity,
+            max_bytes=self.parameters.result_cache_max_bytes,
+            sizer=_estimate_nbytes,
         )
         self._decomposition_cache: EstimateCache[CacheKey, PropagatedJoint] = EstimateCache(
-            self.parameters.decomposition_cache_capacity
+            self.parameters.decomposition_cache_capacity,
+            max_bytes=self.parameters.decomposition_cache_max_bytes,
+            sizer=_joint_nbytes,
         )
         self._route_cache: RouteCache[RouteKey, RouteResult] = RouteCache(
-            self.parameters.route_cache_capacity
+            self.parameters.route_cache_capacity,
+            max_bytes=self.parameters.route_cache_max_bytes,
+            sizer=_route_nbytes,
         )
         #: Lazily built routing engine; estimates flow back through this
         #: service, so a rebase is picked up without rebuilding the engine.
@@ -163,9 +189,20 @@ class CostEstimationService:
         self._computed = 0
         self._routes_served = 0
         self._routes_computed = 0
-        #: One persistent executor for every batched submit; the thread pool
-        #: inside is created lazily and torn down by :meth:`close`.
-        self._batch_executor = BatchExecutor(max_workers=self.parameters.max_workers)
+        #: One worker pool for the whole service: the batch executor's
+        #: per-key fan-out and the threaded kernel backend's tiles draw
+        #: from the same threads (created lazily, torn down by
+        #: :meth:`close`).
+        self._pool = WorkerPool(name="repro-service")
+        #: One persistent executor for every batched submit.
+        self._batch_executor = BatchExecutor(
+            max_workers=self.parameters.max_workers, pool=self._pool
+        )
+        #: Config-driven kernel backend selection (serial / fused /
+        #: threaded tiles / auto-by-batch-size) sharing the worker pool.
+        self._kernel_dispatch = BackendDispatcher(
+            self.parameters.kernel_backend, pool=self._pool
+        )
 
     @classmethod
     def from_hybrid_graph(
@@ -216,7 +253,84 @@ class CostEstimationService:
                 "decomposition_cache": self._decomposition_cache.stats_unlocked(),
                 "route_cache": self._route_cache.stats_unlocked(),
                 "batch_executor": self._batch_executor.stats(),
+                "kernel_backend": self._kernel_dispatch.stats(),
             }
+
+    def kernel_backend_stats(self) -> dict[str, object]:
+        """Backend selection counts and per-backend kernel usage counters."""
+        return self._kernel_dispatch.stats()
+
+    def cache_memory_bytes(self) -> dict[str, int]:
+        """Bytes of cached values currently held, per cache."""
+        return {
+            "result": self._result_cache.bytes_in_use,
+            "decomposition": self._decomposition_cache.bytes_in_use,
+            "route": self._route_cache.bytes_in_use,
+        }
+
+    def shrink_caches(self, total_budget_bytes: int) -> dict[str, object]:
+        """Tighten every cache's byte budget to fit ``total_budget_bytes``.
+
+        The budget is split across the three caches proportionally to what
+        each currently holds (an idle cache gets a token floor, so a later
+        fill still respects the squeeze).  Shrinking sheds cold entries --
+        subsequent queries recompute and stay correct; only hit rate
+        degrades.  Returns a report of per-cache budgets and evictions;
+        the shrink itself is surfaced through :class:`CacheStats`
+        (``pressure_shrinks`` / ``byte_evictions``) and the telemetry
+        gauges.
+        """
+        if total_budget_bytes < 3:
+            raise ServiceError(
+                f"total_budget_bytes must be >= 3 (one byte per cache), got {total_budget_bytes}"
+            )
+        caches = (
+            ("result", self._result_cache),
+            ("decomposition", self._decomposition_cache),
+            ("route", self._route_cache),
+        )
+        in_use = {name: cache.bytes_in_use for name, cache in caches}
+        total_in_use = sum(in_use.values())
+        report: dict[str, object] = {"total_budget_bytes": int(total_budget_bytes)}
+        remaining = int(total_budget_bytes)
+        for index, (name, cache) in enumerate(caches):
+            if index == len(caches) - 1:
+                budget = remaining
+            elif total_in_use > 0:
+                budget = int(total_budget_bytes * in_use[name] / total_in_use)
+            else:
+                budget = int(total_budget_bytes // len(caches))
+            budget = max(1, min(budget, remaining - (len(caches) - 1 - index)))
+            remaining -= budget
+            evicted = cache.shrink_to_bytes(budget)
+            report[name] = {"max_bytes": budget, "evicted": evicted}
+        return report
+
+    def adapt_cache_memory(
+        self,
+        available_bytes: int | None = None,
+        fraction: float = 0.5,
+    ) -> dict[str, object] | None:
+        """Shrink cache budgets when they outgrow the memory actually available.
+
+        Probes the machine (:func:`repro.parallel.available_memory_bytes`)
+        unless ``available_bytes`` is given, and shrinks the caches to
+        ``fraction`` of it when their combined byte usage exceeds that
+        target -- the Dynamic-Hybrid-Hash-Join move: react to the memory
+        that exists instead of degrading abruptly when it runs out.
+        Returns the shrink report, or ``None`` when no action was needed
+        (including when availability cannot be determined).
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ServiceError(f"fraction must be in (0, 1], got {fraction}")
+        if available_bytes is None:
+            available_bytes = available_memory_bytes()
+        if available_bytes is None:
+            return None
+        target = max(3, int(available_bytes * fraction))
+        if sum(self.cache_memory_bytes().values()) <= target:
+            return None
+        return self.shrink_caches(target)
 
     def register_metrics(self, registry: "MetricsRegistry") -> "MetricsRegistry":
         """Expose the service's live stats through a telemetry registry.
@@ -285,6 +399,54 @@ class CostEstimationService:
                 labels=labels,
                 callback=lambda c=cache: len(c),
             )
+            gauge(
+                "repro_service_cache_bytes",
+                "Bytes of cached values currently held",
+                labels=labels,
+                callback=lambda c=cache: c.stats().bytes_in_use,
+            )
+            gauge(
+                "repro_service_cache_byte_evictions_total",
+                "Entries evicted by the byte budget",
+                labels=labels,
+                callback=lambda c=cache: c.stats().byte_evictions,
+            )
+            gauge(
+                "repro_service_cache_pressure_shrinks_total",
+                "Times the byte budget was tightened under memory pressure",
+                labels=labels,
+                callback=lambda c=cache: c.stats().pressure_shrinks,
+            )
+        dispatch = self._kernel_dispatch
+        for backend_name in ("serial", "fused", "threaded"):
+            gauge(
+                "repro_kernel_backend_selected_total",
+                "Kernel batches dispatched to this backend",
+                labels={"backend": backend_name},
+                callback=lambda n=backend_name: dispatch.stats()["selected"].get(n, 0),
+            )
+
+        def _backend_total(field: str) -> int:
+            return sum(
+                counters.get(field, 0)
+                for counters in dispatch.stats()["backends"].values()
+            )
+
+        gauge(
+            "repro_kernel_folds_total",
+            "Path folds run across all kernel backends",
+            callback=lambda: _backend_total("folds"),
+        )
+        gauge(
+            "repro_kernel_fused_folds_total",
+            "Path folds run through the fused rearrange+convolve+coarsen kernel",
+            callback=lambda: _backend_total("fused_folds"),
+        )
+        gauge(
+            "repro_kernel_tiles_dispatched_total",
+            "Tiles dispatched to the worker pool by the threaded backend",
+            callback=lambda: _backend_total("tiles_dispatched"),
+        )
         executor = self._batch_executor
         gauge(
             "repro_service_batches_total",
@@ -300,6 +462,11 @@ class CostEstimationService:
             "repro_service_batch_pool_size",
             "Threads in the persistent batch pool (0 = synchronous)",
             callback=lambda: executor.stats()["pool_size"],
+        )
+        gauge(
+            "repro_service_batch_max_workers",
+            "Configured batch fan-out width (0 = synchronous)",
+            callback=lambda: executor.stats()["max_workers"],
         )
         # The routing engine is built lazily; the callbacks tolerate its
         # absence so registration order does not matter.
@@ -344,12 +511,15 @@ class CostEstimationService:
         self._route_cache.clear()
 
     def close(self) -> None:
-        """Release the batch executor's thread pool (idempotent).
+        """Release the shared worker pool and kernel backends (idempotent).
 
-        The service stays usable afterwards -- batched submits simply run
-        synchronously -- so ``close`` is safe to call defensively.
+        The service stays usable afterwards -- batched submits and kernel
+        tiles simply run synchronously -- so ``close`` is safe to call
+        defensively.
         """
+        self._kernel_dispatch.close()
         self._batch_executor.close()
+        self._pool.close()
 
     def __enter__(self) -> "CostEstimationService":
         return self
@@ -519,16 +689,20 @@ class CostEstimationService:
 
         Estimation goes through the deduplicated batch pipeline and the
         budget probabilities of all candidates are then evaluated with one
-        batched CDF kernel call
-        (:func:`~repro.histograms.univariate.prob_at_most_many`).
+        batched CDF call on the configured kernel backend (serial one-shot
+        interpolation, or bit-identical threaded tiles for wide batches).
         """
         estimates = self.estimate_batch(
             paths, departure_time_s, method=method, max_workers=max_workers
         )
-        return [
-            float(p)
-            for p in prob_at_most_many([estimate.histogram for estimate in estimates], budget)
-        ]
+        if not estimates:
+            return []
+        backend = self._kernel_dispatch.select(len(estimates))
+        probabilities = backend.batch_cdf(
+            [estimate.histogram.as_triple() for estimate in estimates],
+            np.full(len(estimates), float(budget)),
+        )
+        return [float(p) for p in probabilities]
 
     # ------------------------------------------------------------------ #
     # Batch API
@@ -579,6 +753,14 @@ class CostEstimationService:
             key: (lambda k=key, q=query: self._compute(k, q[0], q[1], q[2], epoch))
             for key, query in scheduled.items()
         }
+        if max_workers is None and self.parameters.max_workers == 0:
+            # A threaded/auto kernel configuration donates its workers to
+            # wide estimation batches, so one knob drives both the kernel
+            # tiles and the per-key fan-out.  Explicit overrides and a
+            # non-zero service max_workers keep their existing meaning.
+            donated = self._kernel_dispatch.batch_workers(len(work))
+            if donated > 0:
+                max_workers = donated
         computed = self._batch_executor.execute(work, max_workers=max_workers)
         n_computed = 0
         for key, ((estimate, source), _duration) in computed.items():

@@ -1,0 +1,225 @@
+"""Unit tests for the kernel backend registry and dispatcher."""
+
+import numpy as np
+import pytest
+
+from repro.config import KernelBackendParameters
+from repro.exceptions import ConfigurationError, HistogramError
+from repro.histograms.backends import (
+    BackendDispatcher,
+    FusedFoldBackend,
+    KernelBackend,
+    SerialNumpyBackend,
+    ThreadedTileBackend,
+    available_backends,
+    create_backend,
+    register_backend,
+)
+from repro.parallel import WorkerPool
+
+
+def triple(n, seed=0):
+    rng = np.random.default_rng(seed)
+    edges = np.cumsum(rng.uniform(0.5, 2.0, size=2 * n))
+    return edges[0::2], edges[1::2], rng.dirichlet(np.ones(n))
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        names = available_backends()
+        assert {"serial", "fused", "threaded"} <= set(names)
+
+    def test_create_backend_by_name(self):
+        assert isinstance(create_backend("serial"), SerialNumpyBackend)
+        assert isinstance(create_backend("fused"), FusedFoldBackend)
+        threaded = create_backend(
+            "threaded", KernelBackendParameters(backend="threaded", max_workers=2)
+        )
+        assert isinstance(threaded, ThreadedTileBackend)
+        assert threaded.max_workers == 2
+        threaded.close()
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(HistogramError, match="unknown kernel backend"):
+            create_backend("gpu-tensor-cores")
+
+    def test_custom_backend_registration(self):
+        class _Custom(KernelBackend):
+            name = "test-custom"
+
+        register_backend("test-custom", lambda parameters, pool: _Custom())
+        try:
+            assert "test-custom" in available_backends()
+            backend = create_backend("test-custom")
+            assert isinstance(backend, _Custom)
+            dispatcher = BackendDispatcher(
+                KernelBackendParameters(backend="test-custom")
+            )
+            assert isinstance(dispatcher.select(1), _Custom)
+            dispatcher.close()
+        finally:
+            # No unregister API; point the name at the serial factory so the
+            # global registry stays harmless for other tests.
+            register_backend(
+                "test-custom", lambda parameters, pool: SerialNumpyBackend()
+            )
+
+    def test_threaded_backend_uses_shared_pool(self):
+        pool = WorkerPool(name="test-shared")
+        backend = create_backend(
+            "threaded",
+            KernelBackendParameters(backend="threaded", max_workers=2),
+            pool=pool,
+        )
+        assert backend._pool is pool
+        backend.close()  # must not close the shared pool
+        assert not pool.closed
+        pool.close()
+
+
+class TestParameters:
+    def test_defaults(self):
+        parameters = KernelBackendParameters()
+        assert parameters.backend == "auto"
+        assert parameters.max_workers == 0
+        assert parameters.fused_folds is True
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"backend": ""},
+            {"max_workers": -1},
+            {"tile_size": 0},
+            {"auto_batch_threshold": 0},
+            {"working_buckets": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            KernelBackendParameters(**kwargs)
+
+
+class TestDispatcher:
+    def test_fixed_backend_always_selected(self):
+        dispatcher = BackendDispatcher(KernelBackendParameters(backend="serial"))
+        assert isinstance(dispatcher.select(1), SerialNumpyBackend)
+        assert isinstance(dispatcher.select(1000), SerialNumpyBackend)
+        dispatcher.close()
+
+    def test_auto_policy_keys_on_batch_size(self):
+        dispatcher = BackendDispatcher(
+            KernelBackendParameters(
+                backend="auto", max_workers=2, auto_batch_threshold=16
+            )
+        )
+        assert isinstance(dispatcher.select(1), FusedFoldBackend)
+        assert isinstance(dispatcher.select(15), FusedFoldBackend)
+        assert isinstance(dispatcher.select(16), ThreadedTileBackend)
+        dispatcher.close()
+
+    def test_auto_without_workers_stays_fused(self):
+        dispatcher = BackendDispatcher(
+            KernelBackendParameters(backend="auto", max_workers=0)
+        )
+        assert isinstance(dispatcher.select(10_000), FusedFoldBackend)
+        dispatcher.close()
+
+    def test_backend_instances_cached(self):
+        dispatcher = BackendDispatcher(KernelBackendParameters(backend="fused"))
+        assert dispatcher.select(1) is dispatcher.select(2)
+        dispatcher.close()
+
+    def test_stats_structure(self):
+        dispatcher = BackendDispatcher(
+            KernelBackendParameters(
+                backend="auto", max_workers=2, auto_batch_threshold=4
+            )
+        )
+        dispatcher.select(1)
+        dispatcher.select(1)
+        backend = dispatcher.select(8)
+        backend.batch_cdf([triple(4)], np.array([5.0]))
+        stats = dispatcher.stats()
+        assert stats["configured"] == "auto"
+        assert stats["selected"] == {"fused": 2, "threaded": 1}
+        assert stats["backends"]["threaded"]["cdf_batches"] == 1
+        assert set(stats["backends"]["fused"]) == {
+            "folds",
+            "fused_folds",
+            "cdf_batches",
+            "tiles_dispatched",
+        }
+        dispatcher.close()
+
+    @pytest.mark.parametrize(
+        ("backend", "max_workers", "batch_size", "expected"),
+        [
+            ("serial", 4, 100, 0),
+            ("fused", 4, 100, 0),
+            ("threaded", 4, 1, 4),
+            ("threaded", 0, 100, 0),
+            ("auto", 4, 3, 0),
+            ("auto", 4, 32, 4),
+            ("auto", 0, 32, 0),
+        ],
+    )
+    def test_batch_workers_policy(self, backend, max_workers, batch_size, expected):
+        dispatcher = BackendDispatcher(
+            KernelBackendParameters(
+                backend=backend, max_workers=max_workers, auto_batch_threshold=32
+            )
+        )
+        assert dispatcher.batch_workers(batch_size) == expected
+        dispatcher.close()
+
+    def test_close_clears_backends(self):
+        dispatcher = BackendDispatcher(KernelBackendParameters(backend="threaded", max_workers=2))
+        first = dispatcher.select(1)
+        dispatcher.close()
+        assert dispatcher.stats()["backends"] == {}
+        # Selecting again after close builds a fresh instance.
+        assert dispatcher.select(1) is not first
+        dispatcher.close()
+
+
+class TestBackendCounters:
+    def test_fold_counters(self):
+        fused = FusedFoldBackend()
+        fused.fold_path([triple(4), triple(4, seed=1)])
+        stats = fused.stats()
+        assert stats["folds"] == 1
+        assert stats["fused_folds"] == 1
+
+        serial = SerialNumpyBackend()
+        serial.fold_path([triple(4), triple(4, seed=1)])
+        assert serial.stats()["fused_folds"] == 0
+
+    def test_threaded_tile_counter(self):
+        backend = ThreadedTileBackend(max_workers=2, tile_size=4, guard_blas=False)
+        histograms = [triple(4, seed=i) for i in range(10)]
+        values = np.array([float(t[1][-1]) for t in histograms])
+        backend.batch_cdf(histograms, values)
+        stats = backend.stats()
+        assert stats["cdf_batches"] == 1
+        assert stats["tiles_dispatched"] == 3  # ceil(10 / 4)
+        backend.close()
+
+    def test_threaded_validates_arguments(self):
+        with pytest.raises(HistogramError):
+            ThreadedTileBackend(max_workers=-1, guard_blas=False)
+        with pytest.raises(HistogramError):
+            ThreadedTileBackend(tile_size=0, guard_blas=False)
+        backend = ThreadedTileBackend(max_workers=1, guard_blas=False)
+        with pytest.raises(HistogramError, match="one query value per histogram"):
+            backend.batch_cdf([triple(4)], np.array([1.0, 2.0]))
+        backend.close()
+
+    def test_blas_guard_record(self):
+        backend = ThreadedTileBackend(max_workers=1, guard_blas=True)
+        assert backend.blas_guard is not None
+        assert backend.blas_guard["requested_threads"] == 1
+        assert backend.blas_guard["mechanism"] in ("env", "threadpoolctl")
+        backend.close()
+        unguarded = ThreadedTileBackend(max_workers=1, guard_blas=False)
+        assert unguarded.blas_guard is None
+        unguarded.close()

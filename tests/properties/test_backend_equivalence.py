@@ -1,0 +1,259 @@
+"""Property tests pinning the kernel backends to each other and the reference.
+
+Three guarantees the dispatch layer (:mod:`repro.histograms.backends`) must
+keep:
+
+* the fused ``rearrange_convolve_coarsen`` fold equals the composed
+  ``rearrange`` -> ``convolve`` -> ``coarsen`` chain run at the same
+  working resolution, and equals a loop-based pure-Python rendition of the
+  same fold, to ``atol=1e-9``;
+* every backend's ``batch_cdf`` agrees with the pure-Python
+  :func:`~repro.histograms.reference.reference_cdf` to ``atol=1e-9``;
+* the threaded tile backend is **bit-deterministic**: its outputs are
+  bit-identical to the serial one-shot kernels for every tile count and
+  worker count.
+"""
+
+import numpy as np
+import pytest
+
+from repro.histograms import kernels
+from repro.histograms.backends import (
+    FusedFoldBackend,
+    SerialNumpyBackend,
+    ThreadedTileBackend,
+)
+from repro.histograms.reference import (
+    reference_cdf,
+    reference_cumulative,
+    reference_rearrange,
+)
+from repro.parallel import WorkerPool
+
+ATOL = 1e-9
+
+
+def disjoint_triple(n_buckets, seed, scale=2.0):
+    """A random disjoint histogram triple (possibly with inter-bucket gaps)."""
+    rng = np.random.default_rng(seed)
+    edges = np.cumsum(rng.uniform(0.5, scale, size=2 * n_buckets))
+    return edges[0::2], edges[1::2], rng.dirichlet(np.ones(n_buckets))
+
+
+def random_components(n_components, n_buckets, seed):
+    return [disjoint_triple(n_buckets, seed * 1000 + i) for i in range(n_components)]
+
+
+def composed_fold(components, max_buckets, working_buckets):
+    """The unfused chain at the fused fold's regridding policy.
+
+    Each step runs the exact pairwise convolution
+    (``rearrange``-based, no truncation) and then regrids onto an
+    equal-width ``working_buckets`` grid spanning the *raw* support of the
+    partial sum -- the same grid the fused accumulator uses.  (The raw
+    support matters: ``rearrange`` drops cells whose mass underflows to
+    zero in deep convolution tails, so deriving the grid from the
+    rearranged cells would silently shrink the support.)
+    """
+    accumulator = components[0]
+    for component in components[1:]:
+        low = accumulator[0][0] + component[0][0]
+        high = accumulator[1][-1] + component[1][-1]
+        cells = kernels.convolve(*accumulator, *component, max_buckets=None)
+        edges = np.linspace(low, high, working_buckets + 1)
+        edges[-1] = np.nextafter(high, np.inf)
+        cumulative = kernels.cdf_at_many(*cells, edges, normalized=False)
+        masses = np.clip(np.diff(cumulative), 0.0, None)
+        accumulator = (edges[:-1], edges[1:], masses)
+    if max_buckets is not None and accumulator[2].size > max_buckets:
+        accumulator = kernels.coarsen(*accumulator, max_buckets)
+    return accumulator
+
+
+def pure_python_fold(components, max_buckets, working_buckets):
+    """Loop-based rendition of the fused fold (reference functions only)."""
+    accumulator = [
+        (float(low), float(high), float(prob))
+        for low, high, prob in zip(*components[0])
+    ]
+    for component in components[1:]:
+        cells = [
+            (float(low), float(high), float(prob))
+            for low, high, prob in zip(*component)
+        ]
+        low = accumulator[0][0] + cells[0][0]
+        high = accumulator[-1][1] + cells[-1][1]
+        combined = [
+            (low_a + low_b, high_a + high_b, prob_a * prob_b)
+            for low_a, high_a, prob_a in accumulator
+            if prob_a > 0.0
+            for low_b, high_b, prob_b in cells
+            if prob_b > 0.0
+        ]
+        disjoint = reference_rearrange(combined, normalize=False)
+        width = (high - low) / working_buckets
+        edges = [low + i * width for i in range(working_buckets)]
+        edges.append(float(np.nextafter(high, np.inf)))
+        cumulative = [reference_cumulative(disjoint, edge) for edge in edges]
+        accumulator = [
+            (left, right, max(0.0, later - earlier))
+            for left, right, earlier, later in zip(
+                edges[:-1], edges[1:], cumulative[:-1], cumulative[1:]
+            )
+        ]
+    if max_buckets is not None and len(accumulator) > max_buckets:
+        triple = tuple(np.array(column) for column in zip(*accumulator))
+        triple = kernels.coarsen(*triple, max_buckets)
+        return triple
+    return tuple(np.array(column) for column in zip(*accumulator))
+
+
+class TestFusedFoldEquivalence:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_fused_equals_composed_chain(self, seed):
+        components = random_components(n_components=12, n_buckets=8, seed=seed)
+        fused = kernels.rearrange_convolve_coarsen(
+            components, max_buckets=48, working_buckets=192
+        )
+        composed = composed_fold(components, max_buckets=48, working_buckets=192)
+        np.testing.assert_allclose(fused[0], composed[0], atol=ATOL, rtol=0)
+        np.testing.assert_allclose(fused[1], composed[1], atol=ATOL, rtol=0)
+        np.testing.assert_allclose(fused[2], composed[2], atol=ATOL, rtol=0)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_fused_equals_pure_python_reference(self, seed):
+        components = random_components(n_components=5, n_buckets=6, seed=seed)
+        fused = kernels.rearrange_convolve_coarsen(
+            components, max_buckets=32, working_buckets=64
+        )
+        reference = pure_python_fold(components, max_buckets=32, working_buckets=64)
+        np.testing.assert_allclose(fused[0], reference[0], atol=ATOL, rtol=0)
+        np.testing.assert_allclose(fused[1], reference[1], atol=ATOL, rtol=0)
+        np.testing.assert_allclose(fused[2], reference[2], atol=ATOL, rtol=0)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_fused_conserves_mass_and_support(self, seed):
+        components = random_components(n_components=10, n_buckets=7, seed=seed)
+        fused = kernels.rearrange_convolve_coarsen(components, max_buckets=64)
+        assert fused[2].sum() == pytest.approx(1.0, abs=ATOL)
+        expected_low = sum(component[0][0] for component in components)
+        expected_high = sum(component[1][-1] for component in components)
+        assert fused[0][0] == pytest.approx(expected_low, abs=ATOL)
+        assert fused[1][-1] == pytest.approx(expected_high, abs=1e-6)
+
+    def test_single_component_passes_through(self):
+        triple = disjoint_triple(10, seed=1)
+        fused = kernels.rearrange_convolve_coarsen([triple], max_buckets=64)
+        np.testing.assert_array_equal(fused[0], triple[0])
+        np.testing.assert_array_equal(fused[1], triple[1])
+        np.testing.assert_array_equal(fused[2], triple[2])
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_fused_close_to_unfused_fold(self, seed):
+        """The two folds are distinct approximations of the same quantity."""
+        components = random_components(n_components=8, n_buckets=8, seed=seed)
+        fused = kernels.rearrange_convolve_coarsen(components, max_buckets=64)
+        unfused = kernels.convolve_accumulate(components, max_buckets=64)
+        assert kernels.mean(*fused) == pytest.approx(kernels.mean(*unfused), rel=1e-3)
+        assert fused[2].sum() == pytest.approx(unfused[2].sum(), abs=1e-6)
+
+
+class TestBackendCdfAgreement:
+    def _histograms_and_values(self, n, seed):
+        rng = np.random.default_rng(seed)
+        histograms = [
+            disjoint_triple(int(rng.integers(1, 24)), seed * 100 + i) for i in range(n)
+        ]
+        values = np.array(
+            [
+                rng.uniform(triple[0][0] - 1.0, triple[1][-1] + 1.0)
+                for triple in histograms
+            ]
+        )
+        return histograms, values
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_serial_backend_matches_reference(self, seed):
+        histograms, values = self._histograms_and_values(30, seed)
+        backend = SerialNumpyBackend()
+        result = backend.batch_cdf(histograms, values)
+        for triple, value, got in zip(histograms, values, result):
+            cells = list(zip(*(column.tolist() for column in triple)))
+            assert got == pytest.approx(reference_cdf(cells, float(value)), abs=ATOL)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_all_backends_bit_identical_cdf(self, seed):
+        histograms, values = self._histograms_and_values(50, seed)
+        expected = kernels.batch_cdf(histograms, values)
+        serial = SerialNumpyBackend()
+        fused = FusedFoldBackend()
+        threaded = ThreadedTileBackend(max_workers=3, tile_size=8, guard_blas=False)
+        try:
+            np.testing.assert_array_equal(serial.batch_cdf(histograms, values), expected)
+            np.testing.assert_array_equal(fused.batch_cdf(histograms, values), expected)
+            np.testing.assert_array_equal(
+                threaded.batch_cdf(histograms, values), expected
+            )
+        finally:
+            threaded.close()
+
+
+class TestThreadedDeterminism:
+    @pytest.mark.parametrize("tile_size", [1, 3, 7, 16, 64])
+    def test_batch_cdf_bit_identical_for_any_tile_count(self, tile_size):
+        rng = np.random.default_rng(99)
+        histograms = [
+            disjoint_triple(int(rng.integers(1, 20)), 7000 + i) for i in range(41)
+        ]
+        values = np.array(
+            [rng.uniform(triple[0][0], triple[1][-1]) for triple in histograms]
+        )
+        expected = kernels.batch_cdf(histograms, values)
+        backend = ThreadedTileBackend(
+            max_workers=4, tile_size=tile_size, guard_blas=False
+        )
+        try:
+            got = backend.batch_cdf(histograms, values)
+        finally:
+            backend.close()
+        np.testing.assert_array_equal(got, expected)
+
+    @pytest.mark.parametrize("max_workers", [1, 2, 4])
+    def test_fold_paths_bit_identical_to_serial(self, max_workers):
+        rng = np.random.default_rng(5)
+        paths = [
+            random_components(int(rng.integers(2, 9)), 6, seed=300 + i)
+            for i in range(17)
+        ]
+        for fused_folds in (True, False):
+            serial = (
+                FusedFoldBackend() if fused_folds else SerialNumpyBackend()
+            )
+            expected = serial.fold_paths(paths, max_buckets=48)
+            threaded = ThreadedTileBackend(
+                max_workers=max_workers, fused_folds=fused_folds, guard_blas=False
+            )
+            try:
+                got = threaded.fold_paths(paths, max_buckets=48)
+            finally:
+                threaded.close()
+            assert len(got) == len(expected)
+            for got_triple, expected_triple in zip(got, expected):
+                for got_column, expected_column in zip(got_triple, expected_triple):
+                    np.testing.assert_array_equal(got_column, expected_column)
+
+    def test_closed_pool_degrades_to_serial_with_identical_results(self):
+        rng = np.random.default_rng(11)
+        histograms = [disjoint_triple(8, 400 + i) for i in range(20)]
+        values = np.array(
+            [rng.uniform(triple[0][0], triple[1][-1]) for triple in histograms]
+        )
+        pool = WorkerPool(name="test-kernel")
+        backend = ThreadedTileBackend(
+            pool=pool, max_workers=2, tile_size=4, guard_blas=False
+        )
+        before = backend.batch_cdf(histograms, values)
+        pool.close()
+        after = backend.batch_cdf(histograms, values)
+        np.testing.assert_array_equal(before, after)
+        np.testing.assert_array_equal(after, kernels.batch_cdf(histograms, values))

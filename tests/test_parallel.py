@@ -1,0 +1,98 @@
+"""Unit tests for the shared worker-pool / BLAS-guard / memory-probe module."""
+
+import pytest
+
+from repro.parallel import (
+    BLAS_THREAD_ENV_VARS,
+    WorkerPool,
+    available_memory_bytes,
+    blas_thread_env,
+    cpu_count,
+    limit_blas_threads,
+    total_memory_bytes,
+)
+
+
+class TestWorkerPool:
+    def test_lazy_creation_and_growth(self):
+        pool = WorkerPool(name="test-pool")
+        assert pool.size == 0
+        assert pool.pools_created == 0
+        executor = pool.ensure(2)
+        assert executor is not None
+        assert pool.size == 2
+        assert pool.pools_created == 1
+        assert pool.ensure(1) is executor  # smaller request reuses the pool
+        assert pool.ensure(4) is not executor  # larger request grows it
+        assert pool.size == 4
+        assert pool.pools_created == 2
+        pool.close()
+
+    def test_zero_workers_returns_none(self):
+        pool = WorkerPool(name="test-pool")
+        assert pool.ensure(0) is None
+        assert pool.pools_created == 0
+        pool.close()
+
+    def test_close_is_idempotent_and_degrades(self):
+        pool = WorkerPool(name="test-pool")
+        pool.ensure(2)
+        pool.close()
+        pool.close()
+        assert pool.closed
+        assert pool.ensure(2) is None
+        assert pool.map_ordered(lambda x: x * 2, [1, 2, 3], workers=2) == [2, 4, 6]
+
+    def test_map_ordered_preserves_order(self):
+        with WorkerPool(name="test-pool") as pool:
+            items = list(range(100))
+            assert pool.map_ordered(lambda x: x * x, items, workers=4) == [
+                x * x for x in items
+            ]
+
+    def test_map_ordered_serial_fallback_for_small_inputs(self):
+        with WorkerPool(name="test-pool") as pool:
+            assert pool.map_ordered(lambda x: x + 1, [41], workers=4) == [42]
+            assert pool.pools_created == 0  # one item never spins up threads
+
+    def test_map_ordered_propagates_exceptions(self):
+        def boom(x):
+            raise ValueError(f"boom {x}")
+
+        with WorkerPool(name="test-pool") as pool:
+            with pytest.raises(ValueError, match="boom"):
+                pool.map_ordered(boom, list(range(10)), workers=2)
+
+
+class TestBlasGuard:
+    def test_record_shape(self):
+        record = limit_blas_threads(1)
+        assert record["requested_threads"] == 1
+        assert record["mechanism"] in ("env", "threadpoolctl")
+        assert isinstance(record["numpy_preloaded"], bool)
+        assert record["cpu_count"] >= 1
+        assert set(record["env"]) == set(BLAS_THREAD_ENV_VARS)
+
+    def test_env_snapshot(self):
+        env = blas_thread_env()
+        assert set(env) == set(BLAS_THREAD_ENV_VARS)
+
+    def test_invalid_thread_count(self):
+        with pytest.raises(ValueError):
+            limit_blas_threads(0)
+
+
+class TestProbes:
+    def test_cpu_count_positive(self):
+        assert cpu_count() >= 1
+
+    def test_memory_probes(self):
+        total = total_memory_bytes()
+        available = available_memory_bytes()
+        # /proc/meminfo exists on the platforms we run on; both probes may
+        # legitimately return None elsewhere, but when they answer they
+        # must be sane.
+        if total is not None:
+            assert total > 0
+        if available is not None and total is not None:
+            assert 0 < available <= total
