@@ -18,15 +18,27 @@ reads it back every way the hub can be read:
    and a Prometheus text excerpt a scraper would see.
 
 Run with ``PYTHONPATH=src python examples/telemetry_dashboard.py``.
+
+With ``--http`` the same dashboard is read *remotely* instead: an
+:class:`repro.AdminServer` is started beside the front-end and every
+reading comes from polling its HTTP endpoints (``/metrics``, ``/stats``,
+``/readyz``, ``/slow-queries``) while the load runs -- exactly what an
+external dashboard or Prometheus scraper would do, no in-process access
+to the hub at all.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import tempfile
+import threading
+import time
+import urllib.request
 from pathlib import Path
 
 from repro import (
+    AdminServer,
     CostEstimationService,
     EstimateRequest,
     EstimatorParameters,
@@ -40,6 +52,7 @@ from repro import (
     PoissonArrivals,
     ServingFrontend,
     SimulationParameters,
+    parse_prometheus_text,
     Telemetry,
     TelemetryParameters,
     TrafficSimulator,
@@ -52,7 +65,71 @@ def rule(title: str) -> None:
     print(f"\n--- {title} {'-' * max(0, 60 - len(title))}")
 
 
-def main() -> None:
+def fetch(url: str):
+    """GET ``url``; JSON-decode unless the response is Prometheus text."""
+    with urllib.request.urlopen(url, timeout=5.0) as response:
+        body = response.read().decode("utf-8")
+    if "json" in response.headers.get("Content-Type", ""):
+        return json.loads(body)
+    return body
+
+
+def poll_live(admin: AdminServer, stop: threading.Event, period_s: float) -> None:
+    """The live ticker: one /stats + /readyz poll per period, one line each."""
+    while not stop.is_set():
+        stats = fetch(admin.url("/stats"))["frontend"]
+        ready = fetch(admin.url("/readyz"))["ready"]
+        print(
+            f"  [poll] submitted {stats['submitted']:5d}  ok {stats['ok']:5d}  "
+            f"queued {stats['queue_depth']:3d}  ready={str(ready).lower()}"
+        )
+        stop.wait(period_s)
+
+
+def http_dashboard(admin: AdminServer) -> None:
+    """The post-run dashboard, read exclusively over HTTP."""
+    series = parse_prometheus_text(fetch(admin.url("/metrics")))
+    stats = fetch(admin.url("/stats"))
+
+    rule("scraped /metrics (read path)")
+    ok = series["repro_frontend_ok_total"]
+    submitted = series["repro_frontend_submitted_total"]
+    count = series['repro_frontend_latency_seconds_count{lane="estimate"}']
+    total = series['repro_frontend_latency_seconds_sum{lane="estimate"}']
+    print(f"  {ok:.0f}/{submitted:.0f} ok, mean latency "
+          f"{total / max(1.0, count) * 1e3:.2f} ms over {count:.0f} requests")
+    hits = series['repro_service_cache_hits_total{cache="result"}']
+    misses = series['repro_service_cache_misses_total{cache="result"}']
+    print(f"  result cache: {hits:.0f} hits / {misses:.0f} misses "
+          f"({hits / max(1.0, hits + misses):.0%} hit rate)")
+    print(f"  ({len(series)} series total)")
+
+    rule("scraped /stats (ingest write path)")
+    metrics = stats["telemetry"]["metrics"]
+    print(f"  accepted {metrics['repro_ingest_accepted_total']}"
+          f"/{metrics['repro_ingest_submitted_total']} trajectories, "
+          f"store version {metrics['repro_ingest_store_version']}")
+
+    rule("scraped /slow-queries (slowest sampled traces)")
+    for entry in fetch(admin.url("/slow-queries?n=3"))["slow_queries"]:
+        spans = "  ".join(
+            f"{span['name']} {span['duration_s'] * 1e3:.2f}ms"
+            for span in entry["spans"]
+        )
+        print(f"  {entry['name']:8s} {entry['duration_s'] * 1e3:7.2f} ms   {spans}")
+
+    rule("probes")
+    health = fetch(admin.url("/healthz"))
+    readiness = fetch(admin.url("/readyz"))
+    checks = ", ".join(
+        f"{check['name']}={'ok' if check['ok'] else 'FAIL'}"
+        for check in readiness["checks"]
+    )
+    print(f"  /healthz: {health['status']} (uptime {health['uptime_s']:.1f}s)")
+    print(f"  /readyz : ready={str(readiness['ready']).lower()}  [{checks}]")
+
+
+def main(http_mode: bool = False) -> None:
     # ------------------------------------------------------------------ #
     # 1. The stack: city, service, and ONE hub shared by both paths.
     # ------------------------------------------------------------------ #
@@ -98,6 +175,36 @@ def main() -> None:
     live_gps, _truth = simulator.generate_gps(30)
 
     with ServingFrontend(service, params, telemetry=hub) as frontend:
+        if http_mode:
+            # 2b. The same run, observed from outside: an admin server
+            #     beside the front-end, a ticker polling it over HTTP
+            #     while the load generator runs, and a dashboard built
+            #     entirely from scraped endpoints afterwards.
+            with AdminServer(frontend=frontend, ingest=pipeline) as admin:
+                print(f"admin server at {admin.url('/')}")
+                stop = threading.Event()
+                ticker = threading.Thread(
+                    target=poll_live, args=(admin, stop, 0.5), daemon=True
+                )
+                with pipeline:
+                    for item in live_gps:
+                        pipeline.submit(item)
+                    ticker.start()
+                    report = LoadGenerator(
+                        frontend,
+                        requests,
+                        PoissonArrivals(600.0, seed=7),
+                        duration_s=2.0,
+                    ).run()
+                    pipeline.drain()
+                frontend.drain()
+                stop.set()
+                ticker.join(timeout=5.0)
+                print(f"achieved {report.achieved_qps:.0f} QPS "
+                      f"({report.n_ok}/{report.n_submitted} ok)")
+                http_dashboard(admin)
+            return
+
         # 2. Load on both paths while the reporter snapshots in the
         #    background: open-loop Poisson estimates through the front-end,
         #    raw GPS through the pipeline.
@@ -172,4 +279,10 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--http",
+        action="store_true",
+        help="read the dashboard by polling a live AdminServer over HTTP",
+    )
+    main(http_mode=parser.parse_args().http)

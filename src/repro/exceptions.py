@@ -63,6 +63,12 @@ class TelemetryError(ReproError):
     callback reports NaN instead of raising mid-snapshot)."""
 
 
+class OpsError(ReproError):
+    """Raised by the operational control plane (admin server, SLO engine,
+    profiler) for invalid use -- never for unhealthy/unready states, which
+    are reported as HTTP statuses and typed payloads instead."""
+
+
 class ConfigurationError(ReproError):
     """Raised for invalid parameter values in configuration objects."""
 

@@ -90,6 +90,9 @@ class ServingFrontend:
         self._invalidations = 0
         #: Admitted tickets not yet fulfilled; what drain() waits on.
         self._pending = 0
+        #: Concurrent drain() calls in flight -- readiness probes report
+        #: "draining" while any are waiting (guarded by the stats lock).
+        self._draining = 0
         self._quiescent = threading.Condition(self._stats_lock)
         #: Optional telemetry hub.  ``None`` keeps the serving path free of
         #: any instrumentation work beyond the counters that already exist
@@ -155,16 +158,27 @@ class ServingFrontend:
             raise FrontendError("cannot drain a front-end that is not started")
         deadline = None if timeout is None else time.perf_counter() + timeout
         with self._quiescent:
-            while self._pending > 0:
-                if deadline is None:
-                    self._quiescent.wait()
-                else:
-                    remaining = deadline - time.perf_counter()
-                    if remaining <= 0 or not self._quiescent.wait(remaining):
-                        if self._pending <= 0:
-                            break
-                        return False
+            self._draining += 1
+            try:
+                while self._pending > 0:
+                    if deadline is None:
+                        self._quiescent.wait()
+                    else:
+                        remaining = deadline - time.perf_counter()
+                        if remaining <= 0 or not self._quiescent.wait(remaining):
+                            if self._pending <= 0:
+                                break
+                            return False
+            finally:
+                self._draining -= 1
         return True
+
+    @property
+    def draining(self) -> bool:
+        """Whether any :meth:`drain` call is currently waiting (readiness
+        probes flip not-ready during drains so traffic routes elsewhere)."""
+        with self._stats_lock:
+            return self._draining > 0
 
     def stop(self, drain: bool = True) -> None:
         """Shut the workers down (draining the backlog first by default).
@@ -306,6 +320,13 @@ class ServingFrontend:
         """Tickets currently queued (0 when stopped)."""
         queue = self._queue
         return 0 if queue is None else queue.depth(lane)
+
+    @property
+    def latency_histograms(self) -> "dict[str, LatencyHistogram]":
+        """Per-lane end-to-end latency histograms (empty until telemetry is
+        attached via :meth:`register_metrics`).  The SLO engine windows
+        these; the dict is a copy, the histograms are live."""
+        return dict(self._latency_hists)
 
     def stats(self) -> FrontendStats:
         """A consistent snapshot of the serving counters."""

@@ -1,0 +1,598 @@
+"""Declarative SLOs with multi-window burn-rate alerting.
+
+An SLO here is a *good-event fraction* target (99% of requests under
+250 ms, 99.9% of submissions answered ok, backlog under its limit 99%
+of the time).  The complement of the objective is the **error budget**;
+the **burn rate** is how many times faster than budget the service is
+currently consuming it:
+
+    burn = error_fraction / (1 - objective)
+
+Alerting on burn rate over *two* windows at once -- a fast window with a
+high threshold AND a slow window with a lower one -- is the standard SRE
+construction: the fast window makes detection quick, the slow window
+makes it *material* (one slow batch cannot page), and an alert resolves
+as soon as the fast window is clean again, so recovery is visible in
+seconds rather than after the slow window ages out.
+
+:class:`SLOEngine` owns the evaluation loop: each tick it samples every
+SLO's sliding windows (:mod:`repro.telemetry.windows`) from the stack's
+existing bookkeeping, computes both burns, walks the firing state
+machine, and emits :class:`Alert` transitions to pluggable
+:class:`AlertSink` s.  Windows with no data report ``None`` and never
+fire -- "no traffic" is not an outage.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable
+
+from ..config import DEFAULT_SLO_PARAMETERS, SLOParameters
+from ..exceptions import OpsError
+from ..telemetry.metrics import LatencyHistogram
+from ..telemetry.windows import CounterWindow, GaugeWindow, HistogramWindow
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..frontend.frontend import ServingFrontend
+    from ..ingest.pipeline import IngestPipeline
+    from ..telemetry.metrics import MetricsRegistry
+
+logger = logging.getLogger(__name__)
+
+
+# --------------------------------------------------------------------- #
+# Alerts and sinks
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Alert:
+    """One burn-rate state transition (``firing`` or ``resolved``)."""
+
+    slo: str
+    state: str  # "firing" | "resolved"
+    fast_burn: float | None
+    slow_burn: float | None
+    fast_window_s: float
+    slow_window_s: float
+    at_s: float  # engine-clock seconds (monotonic origin)
+    wall_ts: float  # unix seconds, for humans and log lines
+    message: str
+
+    def to_dict(self) -> dict:
+        return {
+            "slo": self.slo,
+            "state": self.state,
+            "fast_burn": self.fast_burn,
+            "slow_burn": self.slow_burn,
+            "fast_window_s": self.fast_window_s,
+            "slow_window_s": self.slow_window_s,
+            "at_s": round(self.at_s, 6),
+            "wall_ts": self.wall_ts,
+            "message": self.message,
+        }
+
+
+class AlertSink:
+    """Receives alert transitions; subclasses decide where they go."""
+
+    def emit(self, alert: Alert) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class LogAlertSink(AlertSink):
+    """Alerts to a :mod:`logging` logger (warning on fire, info on resolve)."""
+
+    def __init__(self, target: logging.Logger | None = None) -> None:
+        self._logger = target or logger
+
+    def emit(self, alert: Alert) -> None:
+        level = logging.WARNING if alert.state == "firing" else logging.INFO
+        self._logger.log(level, "slo %s %s: %s", alert.slo, alert.state, alert.message)
+
+
+class JsonLinesAlertSink(AlertSink):
+    """Appends each alert as one JSON line (audit trail that survives)."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._lock = threading.Lock()
+
+    def emit(self, alert: Alert) -> None:
+        line = json.dumps(alert.to_dict(), sort_keys=True)
+        with self._lock:
+            with self.path.open("a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+
+
+class CallbackAlertSink(AlertSink):
+    """Hands each alert to a callable (tests, custom pagers)."""
+
+    def __init__(self, fn: Callable[[Alert], None]) -> None:
+        self._fn = fn
+
+    def emit(self, alert: Alert) -> None:
+        self._fn(alert)
+
+
+# --------------------------------------------------------------------- #
+# SLO definitions
+# --------------------------------------------------------------------- #
+class SLO:
+    """Base: a named objective that can sample itself and report windowed
+    error fractions.  Subclasses wire a sliding-window reducer to one
+    signal; the engine owns burn math and alerting."""
+
+    def __init__(self, name: str, objective: float) -> None:
+        if not 0.0 < objective < 1.0:
+            raise OpsError(f"SLO objective must be in (0, 1), got {objective}")
+        self.name = name
+        self.objective = objective
+
+    @property
+    def error_budget(self) -> float:
+        return 1.0 - self.objective
+
+    def sample(self, now: float) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def error_fraction(self, window_s: float, now: float) -> float | None:
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def burn_rate(self, window_s: float, now: float) -> float | None:
+        fraction = self.error_fraction(window_s, now)
+        if fraction is None:
+            return None
+        return fraction / self.error_budget
+
+    def describe(self) -> dict:
+        return {"name": self.name, "objective": self.objective}
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"{type(self).__name__}({self.name!r}, objective={self.objective})"
+
+
+class LatencySLO(SLO):
+    """Fraction of requests at most ``threshold_s`` (from a latency
+    histogram -- typically one front-end lane's end-to-end histogram)."""
+
+    def __init__(
+        self,
+        name: str,
+        histogram: LatencyHistogram,
+        threshold_s: float,
+        objective: float,
+        horizon_s: float,
+    ) -> None:
+        super().__init__(name, objective)
+        if threshold_s <= 0:
+            raise OpsError(f"latency threshold must be positive, got {threshold_s}")
+        self.threshold_s = threshold_s
+        self._window = HistogramWindow(histogram, horizon_s)
+
+    def sample(self, now: float) -> None:
+        self._window.sample(now)
+
+    def error_fraction(self, window_s: float, now: float) -> float | None:
+        good = self._window.fraction_at_most(self.threshold_s, window_s, now)
+        return None if good is None else 1.0 - good
+
+    def describe(self) -> dict:
+        return {**super().describe(), "threshold_s": self.threshold_s}
+
+
+class AvailabilitySLO(SLO):
+    """Fraction of submitted requests answered ok.
+
+    Reads two cumulative callables -- total submissions and bad outcomes
+    (shed + errors) -- and differences both over the window.  With the
+    front-end convenience constructor, "bad" is
+    ``rejected + dropped + timeouts + errors`` from the stats the
+    front-end already keeps.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        total_fn: Callable[[], float],
+        bad_fn: Callable[[], float],
+        objective: float,
+        horizon_s: float,
+    ) -> None:
+        super().__init__(name, objective)
+        self._total = CounterWindow(total_fn, horizon_s)
+        self._bad = CounterWindow(bad_fn, horizon_s)
+
+    @classmethod
+    def for_frontend(
+        cls,
+        frontend: "ServingFrontend",
+        objective: float,
+        horizon_s: float,
+        name: str = "availability",
+    ) -> "AvailabilitySLO":
+        def total() -> float:
+            return frontend.stats().submitted
+
+        def bad() -> float:
+            stats = frontend.stats()
+            return stats.shed + stats.errors
+
+        return cls(name, total, bad, objective, horizon_s)
+
+    def sample(self, now: float) -> None:
+        self._total.sample(now)
+        self._bad.sample(now)
+
+    def error_fraction(self, window_s: float, now: float) -> float | None:
+        total = self._total.delta(window_s, now)
+        if total is None or total <= 0:
+            return None
+        bad = self._bad.delta(window_s, now)
+        if bad is None:
+            return None
+        return min(bad / total, 1.0)
+
+
+class StalenessSLO(SLO):
+    """Fraction of level readings at or under a limit (ingest freshness).
+
+    Unlike the event SLOs this one watches a *condition*: each tick reads
+    a level (the ingest backlog, pending dirty edges) and the error
+    fraction is the share of recent readings above the limit.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        read_fn: Callable[[], float],
+        limit: float,
+        objective: float,
+        horizon_s: float,
+    ) -> None:
+        super().__init__(name, objective)
+        if limit < 0:
+            raise OpsError(f"staleness limit must be >= 0, got {limit}")
+        self.limit = limit
+        self._window = GaugeWindow(read_fn, horizon_s)
+
+    @classmethod
+    def for_ingest(
+        cls,
+        ingest: "IngestPipeline",
+        limit: float,
+        objective: float,
+        horizon_s: float,
+        name: str = "staleness",
+    ) -> "StalenessSLO":
+        return cls(name, lambda: ingest.backlog, limit, objective, horizon_s)
+
+    def sample(self, now: float) -> None:
+        self._window.sample(now)
+
+    def error_fraction(self, window_s: float, now: float) -> float | None:
+        return self._window.fraction_above(self.limit, window_s, now)
+
+    def describe(self) -> dict:
+        return {**super().describe(), "limit": self.limit}
+
+
+# --------------------------------------------------------------------- #
+# The engine
+# --------------------------------------------------------------------- #
+class _SLOState:
+    """Per-SLO mutable evaluation state (engine lock guards it)."""
+
+    __slots__ = ("firing", "fast_burn", "slow_burn")
+
+    def __init__(self) -> None:
+        self.firing = False
+        self.fast_burn: float | None = None
+        self.slow_burn: float | None = None
+
+
+class SLOEngine:
+    """Samples registered SLOs on a cadence and emits burn-rate alerts.
+
+    Drive it either manually (:meth:`evaluate` with an explicit ``now``;
+    what the tests do) or as a background thread (:meth:`start` /
+    :meth:`stop`; what the admin server does).  Alert transitions go to
+    every sink and into a bounded history (the ``/alerts`` endpoint).
+    """
+
+    def __init__(
+        self,
+        parameters: SLOParameters | None = None,
+        sinks: list[AlertSink] | None = None,
+        history_capacity: int = 256,
+    ) -> None:
+        if history_capacity < 1:
+            raise OpsError(f"history_capacity must be >= 1, got {history_capacity}")
+        self.parameters = parameters or DEFAULT_SLO_PARAMETERS
+        self.sinks: list[AlertSink] = list(sinks) if sinks else [LogAlertSink()]
+        self._slos: list[SLO] = []
+        self._states: dict[str, _SLOState] = {}
+        self._history: list[Alert] = []
+        self._history_capacity = history_capacity
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._evaluations = 0
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def for_stack(
+        cls,
+        frontend: "ServingFrontend | None" = None,
+        ingest: "IngestPipeline | None" = None,
+        parameters: SLOParameters | None = None,
+        sinks: list[AlertSink] | None = None,
+    ) -> "SLOEngine":
+        """An engine pre-loaded with the SLOs the parameters enable.
+
+        Latency SLOs (one per front-end lane with a histogram -- present
+        once telemetry is attached), the availability SLO over the
+        front-end's shed/error counters, and the staleness SLO over the
+        ingest backlog.  Objectives left ``None`` in the parameters are
+        skipped, as are objectives whose component is absent.
+        """
+        engine = cls(parameters=parameters, sinks=sinks)
+        params = engine.parameters
+        horizon = params.slow_window_s
+        if frontend is not None and params.latency_threshold_s is not None:
+            for lane, histogram in sorted(frontend.latency_histograms.items()):
+                engine.add(
+                    LatencySLO(
+                        f"latency-{lane}",
+                        histogram,
+                        params.latency_threshold_s,
+                        params.latency_objective,
+                        horizon,
+                    )
+                )
+        if frontend is not None and params.availability_objective is not None:
+            engine.add(
+                AvailabilitySLO.for_frontend(
+                    frontend, params.availability_objective, horizon
+                )
+            )
+        if ingest is not None and params.staleness_backlog_limit is not None:
+            engine.add(
+                StalenessSLO.for_ingest(
+                    ingest,
+                    params.staleness_backlog_limit,
+                    params.staleness_objective,
+                    horizon,
+                )
+            )
+        return engine
+
+    def add(self, slo: SLO) -> SLO:
+        with self._lock:
+            if any(existing.name == slo.name for existing in self._slos):
+                raise OpsError(f"an SLO named {slo.name!r} is already registered")
+            self._slos.append(slo)
+            self._states[slo.name] = _SLOState()
+        return slo
+
+    @property
+    def slos(self) -> list[SLO]:
+        with self._lock:
+            return list(self._slos)
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+    def evaluate(self, now: float | None = None) -> list[Alert]:
+        """One tick: sample every SLO, update burns, emit transitions.
+
+        ``now`` defaults to ``time.monotonic()``; tests inject a
+        synthetic clock.  Returns the alerts emitted by this tick.
+        """
+        if now is None:
+            now = time.monotonic()
+        params = self.parameters
+        emitted: list[Alert] = []
+        with self._lock:
+            slos = list(self._slos)
+        for slo in slos:
+            slo.sample(now)
+            fast = slo.burn_rate(params.fast_window_s, now)
+            slow = slo.burn_rate(params.slow_window_s, now)
+            with self._lock:
+                state = self._states[slo.name]
+                state.fast_burn = fast
+                state.slow_burn = slow
+                alert = self._transition(slo, state, fast, slow, now)
+                if alert is not None:
+                    self._history.append(alert)
+                    del self._history[: -self._history_capacity]
+                    emitted.append(alert)
+        with self._lock:
+            self._evaluations += 1
+        for alert in emitted:
+            for sink in self.sinks:
+                try:
+                    sink.emit(alert)
+                except Exception:  # pragma: no cover - sink bugs must not kill the loop
+                    logger.exception("alert sink %r failed", sink)
+        return emitted
+
+    def _transition(
+        self,
+        slo: SLO,
+        state: _SLOState,
+        fast: float | None,
+        slow: float | None,
+        now: float,
+    ) -> Alert | None:
+        params = self.parameters
+        if not state.firing:
+            if (
+                fast is not None
+                and slow is not None
+                and fast >= params.fast_burn_threshold
+                and slow >= params.slow_burn_threshold
+            ):
+                state.firing = True
+                return self._alert(
+                    slo,
+                    "firing",
+                    fast,
+                    slow,
+                    now,
+                    f"burn {fast:.1f}x/{params.fast_window_s:.0f}s and "
+                    f"{slow:.1f}x/{params.slow_window_s:.0f}s exceed "
+                    f"{params.fast_burn_threshold}x/{params.slow_burn_threshold}x "
+                    f"(objective {slo.objective})",
+                )
+            return None
+        # Firing: resolve once the fast window is clean (an empty fast
+        # window -- no traffic -- also resolves: nothing is burning).
+        if fast is None or fast < params.fast_burn_threshold:
+            state.firing = False
+            return self._alert(
+                slo,
+                "resolved",
+                fast,
+                slow,
+                now,
+                f"fast-window burn back under {params.fast_burn_threshold}x",
+            )
+        return None
+
+    def _alert(
+        self,
+        slo: SLO,
+        state: str,
+        fast: float | None,
+        slow: float | None,
+        now: float,
+        message: str,
+    ) -> Alert:
+        params = self.parameters
+        return Alert(
+            slo=slo.name,
+            state=state,
+            fast_burn=fast,
+            slow_burn=slow,
+            fast_window_s=params.fast_window_s,
+            slow_window_s=params.slow_window_s,
+            at_s=now,
+            wall_ts=time.time(),
+            message=message,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def alerts(self, n: int | None = None) -> list[Alert]:
+        """Alert history, newest first (up to ``n``)."""
+        with self._lock:
+            history = list(reversed(self._history))
+        return history if n is None else history[:n]
+
+    def firing(self) -> list[str]:
+        """Names of SLOs currently in the firing state."""
+        with self._lock:
+            return [name for name, state in self._states.items() if state.firing]
+
+    @property
+    def evaluations(self) -> int:
+        with self._lock:
+            return self._evaluations
+
+    def snapshot(self) -> dict:
+        """JSON-ready: every SLO's description, burns, and firing state."""
+        with self._lock:
+            slos = list(self._slos)
+            states = {name: state for name, state in self._states.items()}
+        return {
+            "slos": [
+                {
+                    **slo.describe(),
+                    "fast_burn": states[slo.name].fast_burn,
+                    "slow_burn": states[slo.name].slow_burn,
+                    "firing": states[slo.name].firing,
+                }
+                for slo in slos
+            ],
+            "firing": sorted(
+                name for name, state in states.items() if state.firing
+            ),
+            "evaluations": self.evaluations,
+        }
+
+    def register_metrics(self, registry: "MetricsRegistry") -> None:
+        """Burns and firing states as gauges (scrapable alongside the stack)."""
+        for slo in self.slos:
+            for window, attr in (("fast", "fast_burn"), ("slow", "slow_burn")):
+                registry.gauge(
+                    "repro_slo_burn_rate",
+                    "Error-budget burn rate over the labeled window",
+                    labels={"slo": slo.name, "window": window},
+                    callback=self._burn_reader(slo.name, attr),
+                )
+            registry.gauge(
+                "repro_slo_alert_firing",
+                "1 while the labeled SLO's burn-rate alert is firing",
+                labels={"slo": slo.name},
+                callback=self._firing_reader(slo.name),
+            )
+
+    def _burn_reader(self, name: str, attr: str) -> Callable[[], float]:
+        def read() -> float:
+            with self._lock:
+                value = getattr(self._states[name], attr)
+            return float("nan") if value is None else float(value)
+
+        return read
+
+    def _firing_reader(self, name: str) -> Callable[[], float]:
+        def read() -> float:
+            with self._lock:
+                return 1.0 if self._states[name].firing else 0.0
+
+        return read
+
+    # ------------------------------------------------------------------ #
+    # Background loop
+    # ------------------------------------------------------------------ #
+    @property
+    def running(self) -> bool:
+        return self._thread is not None
+
+    def start(self, period_s: float = 1.0) -> "SLOEngine":
+        if period_s <= 0:
+            raise OpsError(f"evaluation period must be positive, got {period_s}")
+        if self._thread is not None:
+            raise OpsError("SLO engine already started")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, args=(period_s,), name="slo-engine", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _run(self, period_s: float) -> None:
+        while not self._stop.wait(period_s):
+            self.evaluate()
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join()
+        self._thread = None
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"SLOEngine({len(self.slos)} slos, firing={self.firing()}, "
+            f"evaluations={self.evaluations})"
+        )

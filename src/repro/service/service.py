@@ -198,6 +198,10 @@ class CostEstimationService:
         self._batch_executor = BatchExecutor(
             max_workers=self.parameters.max_workers, pool=self._pool
         )
+        #: Set once the caches have been seeded (warmup run or snapshot
+        #: entries imported); readiness probes configured with
+        #: ``require_warm`` gate on it.
+        self._warmed = False
         #: Config-driven kernel backend selection (serial / fused /
         #: threaded tiles / auto-by-batch-size) sharing the worker pool.
         self._kernel_dispatch = BackendDispatcher(
@@ -942,7 +946,24 @@ class CostEstimationService:
         """
         from .warmup import warmup_from_store
 
-        return warmup_from_store(self, store, **kwargs)
+        report = warmup_from_store(self, store, **kwargs)
+        self._warmed = True
+        return report
+
+    @property
+    def warmed(self) -> bool:
+        """Whether the caches have been seeded (warmup or snapshot import).
+
+        Purely informational until a readiness probe opts in with
+        ``OpsParameters.require_warm``; :meth:`mark_warm` lets a deployment
+        that boots cold declare itself warm once it has served enough
+        organic traffic.
+        """
+        return self._warmed
+
+    def mark_warm(self) -> None:
+        """Declare the service warm without running a warmup pass."""
+        self._warmed = True
 
     # ------------------------------------------------------------------ #
     # Snapshot persistence (repro.persist)
@@ -972,6 +993,8 @@ class CostEstimationService:
         for key, estimate in entries:
             if self._result_cache.put(key, estimate, guard=lambda: self._epoch == epoch):
                 stored += 1
+        if stored:
+            self._warmed = True
         return stored
 
     def _snapshot_service_info(self) -> dict:

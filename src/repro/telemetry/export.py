@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import json
 import math
+import os
 import re
 import threading
 import time
@@ -27,7 +28,13 @@ from .metrics import KIND_HISTOGRAM, LatencyHistogram, MetricsRegistry
 
 _NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _NAME_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+#: The three escapes the Prometheus text format defines for label values.
+#: Everything else -- including ``{``, ``}``, ``,``, spaces, and raw
+#: carriage returns -- passes through verbatim inside the quotes, which is
+#: why the parser below tokenizes label blocks instead of regexing to the
+#: first ``}``.
 _LABEL_ESCAPES = {"\\": "\\\\", '"': '\\"', "\n": "\\n"}
+_LABEL_UNESCAPES = {"\\": "\\", "n": "\n", '"': '"'}
 
 
 def _sanitize_name(name: str) -> str:
@@ -39,6 +46,29 @@ def _sanitize_name(name: str) -> str:
 
 def _escape_label_value(value: str) -> str:
     return "".join(_LABEL_ESCAPES.get(ch, ch) for ch in value)
+
+
+def _unescape_label_value(value: str) -> str:
+    """Invert :func:`_escape_label_value` (strict: unknown escapes raise)."""
+    out: list[str] = []
+    index = 0
+    n = len(value)
+    while index < n:
+        ch = value[index]
+        if ch == "\\":
+            if index + 1 >= n:
+                raise TelemetryError(f"dangling backslash in label value {value!r}")
+            replacement = _LABEL_UNESCAPES.get(value[index + 1])
+            if replacement is None:
+                raise TelemetryError(
+                    f"unknown escape \\{value[index + 1]!r} in label value {value!r}"
+                )
+            out.append(replacement)
+            index += 2
+        else:
+            out.append(ch)
+            index += 1
+    return "".join(out)
 
 
 def _render_labels(items: tuple[tuple[str, str], ...], extra: str = "") -> str:
@@ -81,34 +111,122 @@ def render_prometheus(registry: MetricsRegistry) -> str:
     return "\n".join(lines) + "\n"
 
 
+_METRIC_NAME = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+_LABEL_NAME = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*")
+
+
+def _parse_label_block(
+    line: str, pos: int, lineno: int
+) -> tuple[list[tuple[str, str]], int]:
+    """Tokenize ``{k="v",...}`` starting at ``line[pos] == '{'``.
+
+    Returns the (name, unescaped value) pairs in source order and the
+    index just past the closing ``}``.  A regex can't do this: label
+    values may legally contain ``}``, ``{``, ``,``, and spaces inside
+    the quotes, so the closing brace is only found by walking the
+    escapes.
+    """
+    items: list[tuple[str, str]] = []
+    pos += 1  # consume '{'
+    if pos < len(line) and line[pos] == "}":
+        return items, pos + 1
+    while True:
+        match = _LABEL_NAME.match(line, pos)
+        if match is None:
+            raise TelemetryError(
+                f"malformed label name on exposition line {lineno}: {line!r}"
+            )
+        key = match.group(0)
+        pos = match.end()
+        if pos + 1 >= len(line) or line[pos] != "=" or line[pos + 1] != '"':
+            raise TelemetryError(
+                f'expected ="value" after label {key!r} on exposition line {lineno}'
+            )
+        pos += 2  # consume '="'
+        chars: list[str] = []
+        while True:
+            if pos >= len(line):
+                raise TelemetryError(
+                    f"unterminated label value on exposition line {lineno}: {line!r}"
+                )
+            ch = line[pos]
+            if ch == "\\":
+                if pos + 1 >= len(line):
+                    raise TelemetryError(
+                        f"dangling backslash on exposition line {lineno}: {line!r}"
+                    )
+                replacement = _LABEL_UNESCAPES.get(line[pos + 1])
+                if replacement is None:
+                    raise TelemetryError(
+                        f"unknown escape \\{line[pos + 1]} on exposition line {lineno}"
+                    )
+                chars.append(replacement)
+                pos += 2
+            elif ch == '"':
+                pos += 1
+                break
+            else:
+                chars.append(ch)
+                pos += 1
+        items.append((key, "".join(chars)))
+        if pos < len(line) and line[pos] == ",":
+            pos += 1
+            continue
+        if pos < len(line) and line[pos] == "}":
+            return items, pos + 1
+        raise TelemetryError(
+            f"expected ',' or '}}' after label value on exposition line {lineno}"
+        )
+
+
 def parse_prometheus_text(text: str) -> dict[str, float]:
     """Parse exposition text back into ``{series: value}`` (validation helper).
 
     Strict about what :func:`render_prometheus` emits: every non-comment
     line must be ``name[{labels}] value`` with a finite-or-special float
-    value, and every series name must be legal.  Raises
-    :class:`~repro.exceptions.TelemetryError` on any malformed line, which
-    is exactly what the CI smoke job wants to fail on.
+    value.  Label values are tokenized with full escape handling, so
+    values containing ``}``, ``,``, quotes, backslashes, or newlines
+    (escaped as ``\\n``) round-trip exactly; the series key is rebuilt by
+    re-escaping, so it matches what :func:`render_prometheus` emitted.
+    Raises :class:`~repro.exceptions.TelemetryError` on any malformed
+    line, which is exactly what the CI smoke job wants to fail on.
+
+    The text is split on ``\\n`` only -- a raw carriage return inside a
+    quoted label value stays inside its line rather than splitting it
+    (``str.splitlines`` would break there); a single trailing ``\\r`` per
+    line is tolerated for CRLF transports.
     """
     series: dict[str, float] = {}
-    line_pattern = re.compile(
-        r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)$"
-    )
-    for lineno, raw in enumerate(text.splitlines(), start=1):
-        line = raw.strip()
+    for lineno, raw in enumerate(text.split("\n"), start=1):
+        line = raw[:-1] if raw.endswith("\r") else raw
+        line = line.strip(" \t")
         if not line or line.startswith("#"):
             continue
-        match = line_pattern.match(line)
+        match = _METRIC_NAME.match(line)
         if match is None:
             raise TelemetryError(f"malformed exposition line {lineno}: {raw!r}")
-        name, labels, value_text = match.groups()
+        name = match.group(0)
+        pos = match.end()
+        if pos < len(line) and line[pos] == "{":
+            items, pos = _parse_label_block(line, pos, lineno)
+            labels = _render_labels(tuple(items))
+        else:
+            labels = ""
+        rest = line[pos:]
+        if not rest or rest[0] not in " \t":
+            raise TelemetryError(f"malformed exposition line {lineno}: {raw!r}")
+        value_text = rest.strip(" \t")
+        if not value_text or " " in value_text or "\t" in value_text:
+            raise TelemetryError(
+                f"expected a single value on exposition line {lineno}: {raw!r}"
+            )
         try:
             value = float(value_text)
         except ValueError as exc:
             raise TelemetryError(
                 f"bad value on exposition line {lineno}: {value_text!r}"
             ) from exc
-        key = name + (labels or "")
+        key = name + labels
         if key in series:
             raise TelemetryError(f"duplicate series on line {lineno}: {key}")
         series[key] = value
@@ -124,6 +242,17 @@ class StatsReporter:
     seconds) and ``elapsed_s`` since the reporter started.  A final
     snapshot is written on :meth:`stop`, so short runs still produce at
     least one line.
+
+    Long-running daemons bound the output with ``max_bytes``: when the
+    next line would push the file past the budget, the reporter either
+    rotates once (``on_full="rotate"``: the current file moves to
+    ``<path>.1``, replacing any previous rotation, so total disk stays
+    under ~2x the budget) or drops oldest lines in place
+    (``on_full="truncate"``: the newest lines that fit are kept, so the
+    file itself never exceeds the budget by more than one line).
+    ``fsync_period_s`` additionally fsyncs the file at most that often --
+    flight-recorder durability across power loss without paying an fsync
+    per line.
     """
 
     def __init__(
@@ -131,26 +260,96 @@ class StatsReporter:
         snapshot_fn: Callable[[], dict],
         path: str | Path,
         period_s: float = 1.0,
+        max_bytes: int | None = None,
+        on_full: str = "rotate",
+        fsync_period_s: float | None = None,
     ) -> None:
         if period_s <= 0:
             raise TelemetryError(f"period_s must be positive, got {period_s}")
+        if max_bytes is not None and max_bytes < 1:
+            raise TelemetryError(f"max_bytes must be >= 1, got {max_bytes}")
+        if on_full not in ("rotate", "truncate"):
+            raise TelemetryError(
+                f"on_full must be 'rotate' or 'truncate', got {on_full!r}"
+            )
+        if fsync_period_s is not None and fsync_period_s < 0:
+            raise TelemetryError(
+                f"fsync_period_s must be >= 0, got {fsync_period_s}"
+            )
         self._snapshot_fn = snapshot_fn
         self.path = Path(path)
         self._period_s = period_s
+        self._max_bytes = max_bytes
+        self._on_full = on_full
+        self._fsync_period_s = fsync_period_s
+        self._last_fsync = float("-inf")
+        self._rotations = 0
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
         self._started_at = 0.0
         self._lines_written = 0
         self._write_lock = threading.Lock()
 
+    @property
+    def rotations(self) -> int:
+        """How many times the output hit ``max_bytes`` (rotate or truncate)."""
+        with self._write_lock:
+            return self._rotations
+
+    def _current_size(self) -> int:
+        try:
+            return self.path.stat().st_size
+        except OSError:
+            return 0
+
+    def _make_room(self, incoming_bytes: int) -> None:
+        """The next line would exceed ``max_bytes``: rotate or drop oldest."""
+        self._rotations += 1
+        if self._on_full == "rotate":
+            os.replace(self.path, self.path.with_name(self.path.name + ".1"))
+            return
+        # truncate: keep the newest complete lines that still leave room for
+        # the incoming line within the budget.
+        try:
+            raw = self.path.read_bytes()
+        except OSError:
+            return
+        budget = self._max_bytes - incoming_bytes
+        kept = b""
+        if budget > 0:
+            tail = raw[-budget:]
+            # Drop the partial first line of the tail so every kept line is
+            # complete JSON.
+            newline = tail.find(b"\n")
+            if newline >= 0 and len(tail) < len(raw):
+                kept = tail[newline + 1:]
+            elif len(tail) == len(raw):
+                kept = tail
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        tmp.write_bytes(kept)
+        os.replace(tmp, self.path)
+
     def _write_line(self) -> None:
         payload = dict(self._snapshot_fn())
         payload["ts"] = time.time()
         payload["elapsed_s"] = round(time.perf_counter() - self._started_at, 6)
-        line = json.dumps(payload, sort_keys=True, default=str)
+        line = json.dumps(payload, sort_keys=True, default=str) + "\n"
+        data = line.encode("utf-8")
         with self._write_lock:
-            with self.path.open("a", encoding="utf-8") as handle:
-                handle.write(line + "\n")
+            if (
+                self._max_bytes is not None
+                and self._current_size() + len(data) > self._max_bytes
+                and self._current_size() > 0
+            ):
+                self._make_room(len(data))
+            with self.path.open("ab") as handle:
+                handle.write(data)
+                if self._fsync_period_s is not None:
+                    now = time.monotonic()
+                    if now - self._last_fsync >= self._fsync_period_s:
+                        handle.flush()
+                        os.fsync(handle.fileno())
+                        self._last_fsync = now
             self._lines_written += 1
 
     @property

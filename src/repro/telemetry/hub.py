@@ -26,6 +26,7 @@ class Telemetry:
         self.tracer = Tracer(
             sample_every=self.parameters.trace_sample_every,
             slow_log_capacity=self.parameters.slow_log_capacity,
+            recent_capacity=self.parameters.recent_traces_capacity,
         )
 
     def snapshot(self) -> dict:
@@ -44,16 +45,27 @@ class Telemetry:
         """The worst traced requests, slowest first, as JSON-ready dicts."""
         return self.tracer.slow_queries.to_dicts(n)
 
+    def recent_traces(self, n: int | None = None) -> list[dict]:
+        """The newest finished traces, newest first, as JSON-ready dicts."""
+        return self.tracer.recent_to_dicts(n)
+
     def render_prometheus(self) -> str:
         """The registry in Prometheus text exposition format."""
         return render_prometheus(self.registry)
 
-    def reporter(self, path: str | Path, period_s: float | None = None) -> StatsReporter:
-        """A :class:`StatsReporter` writing this hub's snapshots to ``path``."""
+    def reporter(
+        self, path: str | Path, period_s: float | None = None, **kwargs
+    ) -> StatsReporter:
+        """A :class:`StatsReporter` writing this hub's snapshots to ``path``.
+
+        Extra keyword arguments (``max_bytes``, ``on_full``,
+        ``fsync_period_s``) pass through to the reporter.
+        """
         return StatsReporter(
             self.snapshot,
             path,
             period_s=period_s if period_s is not None else self.parameters.reporter_period_s,
+            **kwargs,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - trivial

@@ -20,6 +20,7 @@ import heapq
 import itertools
 import threading
 import time
+from collections import deque
 from contextlib import contextmanager
 from typing import Iterator
 
@@ -232,11 +233,23 @@ class Tracer:
     for every request on the hot path.
     """
 
-    def __init__(self, sample_every: int = 64, slow_log_capacity: int = 32) -> None:
+    def __init__(
+        self,
+        sample_every: int = 64,
+        slow_log_capacity: int = 32,
+        recent_capacity: int = 64,
+    ) -> None:
         if sample_every < 0:
             raise TelemetryError(f"sample_every must be >= 0, got {sample_every}")
+        if recent_capacity < 1:
+            raise TelemetryError(f"recent_capacity must be >= 1, got {recent_capacity}")
         self.sample_every = sample_every
         self.slow_queries = SlowQueryLog(slow_log_capacity)
+        #: The newest finished traces, oldest first (the slow-query log keeps
+        #: the *worst*; this keeps the *latest* -- what a live ``/traces``
+        #: endpoint should show).  A bounded deque: appends are atomic under
+        #: the GIL and readers snapshot with ``list()``.
+        self._recent: "deque[Trace]" = deque(maxlen=recent_capacity)
         self._counter = itertools.count()
         self._lock = threading.Lock()
         self._started = 0
@@ -267,7 +280,17 @@ class Tracer:
         trace.finish(status)
         with self._lock:
             self._finished += 1
+        self._recent.append(trace)
         self.slow_queries.record(trace)
+
+    def recent_traces(self, n: int | None = None) -> list[Trace]:
+        """The newest finished traces, newest first (up to ``n``)."""
+        traces = list(self._recent)
+        traces.reverse()
+        return traces if n is None else traces[:n]
+
+    def recent_to_dicts(self, n: int | None = None) -> list[dict]:
+        return [trace.to_dict() for trace in self.recent_traces(n)]
 
     @property
     def traces_started(self) -> int:

@@ -1,0 +1,268 @@
+"""Sliding-window reducers over cumulative metrics.
+
+The registry's metrics are *cumulative*: counters only grow, histograms
+only accumulate.  Alerting needs *windows*: "what fraction of requests
+in the last minute were slow", not "since the process started".  The
+reducers here bridge the two without touching the hot path: a window
+periodically *samples* its source metric (a cheap read of bookkeeping
+that already exists) into a bounded ring of ``(timestamp, snapshot)``
+pairs, and answers windowed questions by differencing the newest sample
+against the sample closest to the window's left edge.
+
+Three reducers cover the SLO engine's needs:
+
+* :class:`CounterWindow` -- deltas and rates of a scalar cumulative
+  value (a :class:`~.metrics.Counter`, a gauge-backed running total, or
+  any ``read_fn``);
+* :class:`HistogramWindow` -- windowed bucket deltas of a
+  :class:`~.metrics.LatencyHistogram`, supporting "fraction of events at
+  most X" and windowed percentiles;
+* :class:`GaugeWindow` -- a ring of point-in-time gauge readings,
+  supporting "fraction of recent samples above a limit".
+
+All reducers take an explicit ``now`` (seconds, any monotonic origin) on
+``sample`` and on every query, so the SLO engine can drive them from one
+clock and tests can drive them from a synthetic one.  None of them spawn
+threads; whoever evaluates (the :class:`~repro.ops.SLOEngine` loop)
+calls ``sample`` at its own cadence.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterable, Sequence
+
+from ..exceptions import TelemetryError
+from .metrics import LatencyHistogram
+
+
+def _validate_horizon(horizon_s: float) -> float:
+    if not horizon_s > 0:
+        raise TelemetryError(f"window horizon_s must be positive, got {horizon_s}")
+    return float(horizon_s)
+
+
+class _SampleRing:
+    """A time-ordered ring of ``(now, payload)`` samples pruned to a horizon.
+
+    The left edge keeps *one* sample older than the horizon: a window
+    query differences against the sample at or before ``now - window_s``,
+    so discarding everything older than the horizon exactly would leave
+    the widest window with no baseline.
+    """
+
+    __slots__ = ("horizon_s", "_samples")
+
+    def __init__(self, horizon_s: float) -> None:
+        self.horizon_s = _validate_horizon(horizon_s)
+        self._samples: deque[tuple[float, object]] = deque()
+
+    def append(self, now: float, payload) -> None:
+        samples = self._samples
+        if samples and now < samples[-1][0]:
+            raise TelemetryError(
+                f"window samples must be time-ordered: {now} < {samples[-1][0]}"
+            )
+        samples.append((now, payload))
+        edge = now - self.horizon_s
+        while len(samples) >= 2 and samples[1][0] <= edge:
+            samples.popleft()
+
+    def latest(self) -> tuple[float, object] | None:
+        return self._samples[-1] if self._samples else None
+
+    def baseline(self, edge: float) -> tuple[float, object] | None:
+        """The newest sample at or before ``edge`` (oldest sample if none)."""
+        chosen = None
+        for ts, payload in self._samples:
+            if ts <= edge:
+                chosen = (ts, payload)
+            else:
+                break
+        if chosen is None and self._samples:
+            chosen = self._samples[0]
+        return chosen
+
+    def since(self, edge: float) -> list[tuple[float, object]]:
+        return [(ts, payload) for ts, payload in self._samples if ts > edge]
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+
+class CounterWindow:
+    """Windowed deltas/rates of a cumulative scalar read by ``read_fn``.
+
+    ``read_fn`` is typically a bound counter ``.value`` or a lambda over a
+    component's existing bookkeeping (the same callables that back the
+    registry's gauges).  A window with fewer than two samples reports
+    ``None`` -- "no data yet" is different from "zero events", and the
+    SLO engine must not alert (or clear) on an empty window.
+    """
+
+    def __init__(self, read_fn: Callable[[], float], horizon_s: float) -> None:
+        self._read = read_fn
+        self._ring = _SampleRing(horizon_s)
+
+    def sample(self, now: float) -> float:
+        value = float(self._read())
+        self._ring.append(now, value)
+        return value
+
+    def delta(self, window_s: float, now: float) -> float | None:
+        """Events in ``(now - window_s, now]``, or ``None`` with <2 samples."""
+        if len(self._ring) < 2:
+            return None
+        latest = self._ring.latest()
+        base = self._ring.baseline(now - window_s)
+        if latest is None or base is None or latest[0] <= base[0]:
+            return None
+        # Counters are monotone; a negative delta means the source was
+        # reset (component restart) -- treat the window as fresh.
+        return max(float(latest[1]) - float(base[1]), 0.0)
+
+    def rate(self, window_s: float, now: float) -> float | None:
+        """Events per second over the actual covered span (``None`` if empty)."""
+        if len(self._ring) < 2:
+            return None
+        latest = self._ring.latest()
+        base = self._ring.baseline(now - window_s)
+        span = latest[0] - base[0]
+        if span <= 0:
+            return None
+        return max(float(latest[1]) - float(base[1]), 0.0) / span
+
+
+class HistogramWindow:
+    """Windowed bucket deltas of a :class:`LatencyHistogram`.
+
+    Each sample snapshots the histogram's cumulative ``(le, count)``
+    buckets; a window is the elementwise difference of two snapshots,
+    which is itself a histogram of just the window's events.  That gives
+    the two reductions burn-rate alerting needs: the fraction of windowed
+    events at most a threshold (latency SLO compliance) and interpolated
+    windowed percentiles (dashboards).
+    """
+
+    def __init__(self, histogram: LatencyHistogram, horizon_s: float) -> None:
+        self.histogram = histogram
+        self._ring = _SampleRing(horizon_s)
+
+    def sample(self, now: float) -> None:
+        counts = tuple(count for _, count in self.histogram.cumulative_buckets())
+        self._ring.append(now, counts)
+
+    def _window_counts(self, window_s: float, now: float) -> tuple[list[int], int] | None:
+        if len(self._ring) < 2:
+            return None
+        latest = self._ring.latest()
+        base = self._ring.baseline(now - window_s)
+        if latest is None or base is None or latest[0] <= base[0]:
+            return None
+        newest: Sequence[int] = latest[1]
+        oldest: Sequence[int] = base[1]
+        if len(newest) != len(oldest):  # histogram rebuilt with new bounds
+            return None
+        counts = [max(int(b) - int(a), 0) for a, b in zip(oldest, newest)]
+        return counts, counts[-1]
+
+    def count(self, window_s: float, now: float) -> int | None:
+        """Events inside the window (``None`` with <2 samples)."""
+        window = self._window_counts(window_s, now)
+        return None if window is None else window[1]
+
+    def fraction_at_most(self, threshold: float, window_s: float, now: float) -> float | None:
+        """Fraction of windowed events with value <= ``threshold``.
+
+        The threshold is resolved against the histogram's bucket bounds
+        conservatively: events are credited as "good" only up to the last
+        bucket edge <= ``threshold``, so a threshold inside a bucket never
+        over-counts compliance.
+        """
+        window = self._window_counts(window_s, now)
+        if window is None:
+            return None
+        counts, total = window
+        if total == 0:
+            return None
+        bounds = self.histogram.bounds
+        credited = 0
+        for index, bound in enumerate(bounds):
+            if bound <= threshold:
+                credited = counts[index]
+            else:
+                break
+        return credited / total
+
+    def percentiles(
+        self,
+        window_s: float,
+        now: float,
+        points: Iterable[float] = (50.0, 95.0, 99.0),
+    ) -> dict[str, float]:
+        """Interpolated percentiles of just the window's events (``{}`` if none)."""
+        from ..frontend.stats import percentile_label
+
+        window = self._window_counts(window_s, now)
+        if window is None or window[1] == 0:
+            return {}
+        cumulative, total = window
+        bounds = self.histogram.bounds
+        results: dict[str, float] = {}
+        for point in points:
+            if not 0.0 <= point <= 100.0:
+                raise TelemetryError(f"percentile points must be in [0, 100], got {point}")
+            rank = point / 100.0 * total
+            value = float(bounds[-1])
+            previous = 0
+            for index in range(len(cumulative)):
+                here = cumulative[index]
+                if here >= rank and here > previous:
+                    if index >= len(bounds):  # overflow bucket: no upper edge
+                        value = float(bounds[-1])
+                        break
+                    lower = bounds[index - 1] if index > 0 else 0.0
+                    upper = bounds[index]
+                    fraction = (max(rank, previous) - previous) / (here - previous)
+                    value = lower + (upper - lower) * fraction
+                    break
+                previous = here
+            results[percentile_label(point)] = value
+        return results
+
+
+class GaugeWindow:
+    """A ring of point-in-time gauge readings (levels, not cumulative counts).
+
+    Backs SLOs over *conditions* rather than events: "the ingest backlog
+    was above its staleness limit for 30% of the last minute".  Each
+    sample is one reading; windowed reductions are over the readings
+    whose timestamps fall inside the window.
+    """
+
+    def __init__(self, read_fn: Callable[[], float], horizon_s: float) -> None:
+        self._read = read_fn
+        self._ring = _SampleRing(horizon_s)
+
+    def sample(self, now: float) -> float:
+        value = float(self._read())
+        self._ring.append(now, value)
+        return value
+
+    def latest(self) -> float | None:
+        sample = self._ring.latest()
+        return None if sample is None else float(sample[1])
+
+    def fraction_above(self, limit: float, window_s: float, now: float) -> float | None:
+        """Fraction of windowed readings strictly above ``limit`` (None if none)."""
+        readings = self._ring.since(now - window_s)
+        if not readings:
+            return None
+        bad = sum(1 for _, value in readings if float(value) > limit)
+        return bad / len(readings)
+
+    def maximum(self, window_s: float, now: float) -> float | None:
+        readings = self._ring.since(now - window_s)
+        if not readings:
+            return None
+        return max(float(value) for _, value in readings)

@@ -1,0 +1,216 @@
+"""Tests for liveness/readiness semantics (repro.ops.health)."""
+
+import time
+
+import pytest
+
+from repro import (
+    FrontendParameters,
+    HealthMonitor,
+    MetricsRegistry,
+    OpsParameters,
+    render_prometheus,
+)
+from repro.frontend.requests import LANES
+
+
+class StubFrontend:
+    """Just the surface HealthMonitor reads, every knob controllable."""
+
+    def __init__(self, capacity=10):
+        self.parameters = FrontendParameters(queue_capacity=capacity)
+        self.running = True
+        self.draining = False
+        self.depths = {lane: 0 for lane in LANES}
+        self.service = StubService()
+        self.telemetry = None
+
+    def queue_depth(self, lane=None):
+        if lane is None:
+            return sum(self.depths.values())
+        return self.depths[lane]
+
+
+class StubService:
+    def __init__(self):
+        self.warmed = False
+
+
+class StubIngest:
+    def __init__(self):
+        self.backlog = 0
+        self.pending_dirty_edges = 0
+
+
+class TestLiveness:
+    def test_always_ok_and_uptime_grows(self):
+        monitor = HealthMonitor()
+        first = monitor.liveness()
+        assert first["status"] == "ok"
+        time.sleep(0.01)
+        assert monitor.liveness()["uptime_s"] >= first["uptime_s"]
+
+    def test_liveness_stays_ok_while_readiness_fails(self):
+        frontend = StubFrontend()
+        frontend.running = False
+        monitor = HealthMonitor(frontend=frontend)
+        assert not monitor.readiness().ready
+        assert monitor.liveness()["status"] == "ok"
+
+
+class TestReadiness:
+    def test_bare_monitor_is_ready(self):
+        report = HealthMonitor().readiness()
+        assert report.ready
+        assert report.checks == ()
+
+    def test_healthy_frontend_is_ready(self):
+        monitor = HealthMonitor(frontend=StubFrontend())
+        report = monitor.readiness()
+        assert report.ready
+        names = [check.name for check in report.checks]
+        assert names == ["frontend_running", "not_draining", "queue_headroom"]
+
+    def test_stopped_frontend_not_ready(self):
+        frontend = StubFrontend()
+        frontend.running = False
+        report = HealthMonitor(frontend=frontend).readiness()
+        assert not report.ready
+        assert [c.name for c in report.failing()] == ["frontend_running"]
+
+    def test_draining_frontend_not_ready(self):
+        frontend = StubFrontend()
+        frontend.draining = True
+        report = HealthMonitor(frontend=frontend).readiness()
+        assert not report.ready
+        assert [c.name for c in report.failing()] == ["not_draining"]
+
+    def test_saturated_lane_not_ready(self):
+        frontend = StubFrontend(capacity=10)
+        parameters = OpsParameters(queue_saturation_fraction=0.9)
+        monitor = HealthMonitor(frontend=frontend, parameters=parameters)
+        frontend.depths["estimate"] = 8
+        assert monitor.readiness().ready
+        frontend.depths["estimate"] = 9  # 90% of capacity: saturated
+        report = monitor.readiness()
+        assert not report.ready
+        (failing,) = report.failing()
+        assert failing.name == "queue_headroom"
+        assert failing.detail["depths"]["estimate"] == 9
+
+    def test_warm_gate_opt_in(self):
+        frontend = StubFrontend()
+        cold = HealthMonitor(frontend=frontend)
+        assert cold.readiness().ready  # not required by default
+        gated = HealthMonitor(
+            frontend=frontend, parameters=OpsParameters(require_warm=True)
+        )
+        report = gated.readiness()
+        assert not report.ready
+        assert [c.name for c in report.failing()] == ["warm"]
+        frontend.service.warmed = True
+        assert gated.readiness().ready
+
+    def test_mark_warm_overrides_cold_service(self):
+        frontend = StubFrontend()
+        monitor = HealthMonitor(
+            frontend=frontend, parameters=OpsParameters(require_warm=True)
+        )
+        assert not monitor.readiness().ready
+        monitor.mark_warm()
+        assert monitor.readiness().ready
+
+    def test_ingest_backlog_gate(self):
+        ingest = StubIngest()
+        monitor = HealthMonitor(
+            ingest=ingest, parameters=OpsParameters(max_ingest_backlog=100)
+        )
+        assert monitor.readiness().ready
+        ingest.backlog = 101
+        report = monitor.readiness()
+        assert not report.ready
+        (failing,) = report.failing()
+        assert failing.name == "ingest_backlog"
+        assert failing.detail == {"backlog": 101, "limit": 100}
+
+    def test_dirty_edges_gate(self):
+        ingest = StubIngest()
+        monitor = HealthMonitor(
+            ingest=ingest, parameters=OpsParameters(max_pending_dirty_edges=50)
+        )
+        ingest.pending_dirty_edges = 51
+        assert [c.name for c in monitor.readiness().failing()] == ["dirty_edges"]
+
+    def test_unset_limits_skip_ingest_checks(self):
+        ingest = StubIngest()
+        ingest.backlog = 10_000
+        report = HealthMonitor(ingest=ingest).readiness()
+        assert report.ready
+        assert report.checks == ()
+
+    def test_report_is_json_ready(self):
+        import json
+
+        frontend = StubFrontend()
+        frontend.draining = True
+        payload = HealthMonitor(frontend=frontend).readiness().to_dict()
+        parsed = json.loads(json.dumps(payload))
+        assert parsed["ready"] is False
+        assert any(not check["ok"] for check in parsed["checks"])
+
+
+class TestHealthMetrics:
+    def test_gauges_track_readiness(self):
+        registry = MetricsRegistry()
+        frontend = StubFrontend()
+        monitor = HealthMonitor(frontend=frontend)
+        monitor.register_metrics(registry)
+        text = render_prometheus(registry)
+        assert "repro_ops_up 1" in text
+        assert "repro_ops_ready 1" in text
+        frontend.running = False
+        assert "repro_ops_ready 0" in render_prometheus(registry)
+
+
+class TestRealStack:
+    def test_started_frontend_reports_ready(self, frontend):
+        monitor = HealthMonitor(frontend=frontend)
+        report = monitor.readiness()
+        assert report.ready, report.to_dict()
+
+    def test_drain_flips_readiness_then_recovers(self, frontend, estimate_requests):
+        import threading
+
+        monitor = HealthMonitor(frontend=frontend)
+        # Slow the service so admitted work is still pending when drain()
+        # starts -- the flip is deterministic, not a race.
+        service = frontend.service
+        real_submit = service.submit_batch
+
+        def slow_submit(requests):
+            time.sleep(0.05)
+            return real_submit(requests)
+
+        service.submit_batch = slow_submit
+        try:
+            for request in estimate_requests[:6]:
+                frontend.submit_estimate(request)
+            drained = threading.Event()
+            drainer = threading.Thread(
+                target=lambda: (frontend.drain(), drained.set()), daemon=True
+            )
+            drainer.start()
+            deadline = time.monotonic() + 5.0
+            saw_not_ready = False
+            while not drained.is_set() and time.monotonic() < deadline:
+                report = monitor.readiness()
+                if frontend.draining and not report.ready:
+                    assert [c.name for c in report.failing()] == ["not_draining"]
+                    saw_not_ready = True
+                    break
+                time.sleep(0.001)
+            drainer.join(timeout=10.0)
+            assert saw_not_ready, "readiness never flipped during the drain"
+        finally:
+            service.submit_batch = real_submit
+        assert monitor.readiness().ready  # recovered after the drain

@@ -1,0 +1,110 @@
+"""Tests for the sampling profiler (repro.ops.profiler)."""
+
+import threading
+import time
+
+import pytest
+
+from repro import OpsError, SamplingProfiler, profile_for
+from repro.ops.profiler import _component_of
+
+
+class TestComponentGrouping:
+    @pytest.mark.parametrize(
+        "name,component",
+        [
+            ("frontend-worker-0", "frontend-worker"),
+            ("frontend-worker-13", "frontend-worker"),
+            ("ingest-worker-2", "ingest-worker"),
+            ("MainThread", "MainThread"),
+            ("slo-engine", "slo-engine"),
+            ("admin-http", "admin-http"),
+            ("pool-a-b", "pool-a-b"),
+        ],
+    )
+    def test_strips_trailing_pool_index(self, name, component):
+        assert _component_of(name) == component
+
+
+def spin(stop: threading.Event) -> None:
+    while not stop.is_set():
+        sum(i * i for i in range(500))
+
+
+class TestSamplingProfiler:
+    def test_collects_samples_and_groups_by_component(self):
+        stop = threading.Event()
+        workers = [
+            threading.Thread(target=spin, args=(stop,), name=f"busy-worker-{i}", daemon=True)
+            for i in range(2)
+        ]
+        for worker in workers:
+            worker.start()
+        try:
+            report = profile_for(0.3, hz=200.0, top_n=5)
+        finally:
+            stop.set()
+            for worker in workers:
+                worker.join()
+        assert report["samples"] > 10
+        assert report["hz"] == 200.0
+        assert 0.2 < report["duration_s"] < 2.0
+        assert "busy-worker" in report["components"]
+        busy = report["components"]["busy-worker"]
+        assert busy["samples"] > 0
+        top = busy["top"]
+        assert len(top) <= 5
+        assert all(frame["samples"] >= 1 for frame in top)
+        assert all(":" in frame["frame"] for frame in top)
+        # Self-time fractions within a component sum to at most 1.
+        assert sum(frame["fraction"] for frame in top) <= 1.0 + 1e-9
+        # The busy workers' samples must come from the spin loop in this
+        # file (the loop line or its genexpr frame -- under a loaded
+        # machine every sample can land inside the genexpr).
+        assert any("test_profiler.py" in frame["frame"] for frame in top)
+
+    def test_excludes_its_own_thread(self):
+        report = profile_for(0.1, hz=100.0)
+        assert "sampling-profiler" not in report["components"]
+
+    def test_continuous_mode_reports_without_stopping(self):
+        profiler = SamplingProfiler(hz=100.0)
+        profiler.start()
+        try:
+            time.sleep(0.15)
+            first = profiler.report()
+            assert profiler.running
+            time.sleep(0.1)
+            second = profiler.report()
+            assert second["samples"] >= first["samples"] > 0
+        finally:
+            profiler.stop()
+        assert not profiler.running
+
+    def test_reset_clears_samples(self):
+        profiler = SamplingProfiler(hz=100.0)
+        with profiler:
+            time.sleep(0.1)
+        assert profiler.total_samples > 0
+        profiler.reset()
+        assert profiler.total_samples == 0
+        assert profiler.report()["components"] == {}
+
+    def test_double_start_raises(self):
+        profiler = SamplingProfiler(hz=50.0)
+        profiler.start()
+        try:
+            with pytest.raises(OpsError):
+                profiler.start()
+        finally:
+            profiler.stop()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(OpsError):
+            SamplingProfiler(hz=0.0)
+        with pytest.raises(OpsError):
+            SamplingProfiler(hz=5000.0)
+        with pytest.raises(OpsError):
+            profile_for(0.0)
+        with pytest.raises(OpsError):
+            SamplingProfiler().report(top_n=0)

@@ -1,0 +1,239 @@
+"""Tests for the admin HTTP server (repro.ops.server)."""
+
+import pytest
+
+from repro import (
+    AdminServer,
+    OpsError,
+    OpsParameters,
+    SLOEngine,
+    SLOParameters,
+    Telemetry,
+    TelemetryParameters,
+    parse_prometheus_text,
+)
+
+
+@pytest.fixture
+def server(frontend):
+    admin = AdminServer(frontend=frontend)
+    admin.start()
+    yield admin
+    admin.stop()
+
+
+class TestLifecycle:
+    def test_binds_ephemeral_port(self, server):
+        assert server.running
+        assert server.port > 0
+        assert server.url("/healthz").endswith(f":{server.port}/healthz")
+
+    def test_double_start_raises(self, server):
+        with pytest.raises(OpsError):
+            server.start()
+
+    def test_port_requires_started(self, frontend):
+        admin = AdminServer(frontend=frontend)
+        with pytest.raises(OpsError):
+            admin.port
+
+    def test_stop_is_idempotent(self, frontend):
+        admin = AdminServer(frontend=frontend)
+        admin.start()
+        admin.stop()
+        admin.stop()
+        assert not admin.running
+
+    def test_context_manager(self, frontend, http_get):
+        with AdminServer(frontend=frontend) as admin:
+            status, _ = http_get(admin.url("/healthz"))
+            assert status == 200
+        assert not admin.running
+
+    def test_starts_and_stops_attached_slo_engine(self, frontend):
+        engine = SLOEngine.for_stack(
+            frontend=frontend,
+            parameters=SLOParameters(latency_threshold_s=0.5),
+        )
+        admin = AdminServer(
+            frontend=frontend,
+            slo_engine=engine,
+            parameters=OpsParameters(slo_evaluation_period_s=0.01),
+        )
+        with admin:
+            assert engine.running
+        assert not engine.running
+
+    def test_leaves_externally_started_engine_alone(self, frontend):
+        engine = SLOEngine.for_stack(
+            frontend=frontend, parameters=SLOParameters(latency_threshold_s=0.5)
+        )
+        engine.start(period_s=0.01)
+        try:
+            with AdminServer(frontend=frontend, slo_engine=engine):
+                pass
+            assert engine.running  # the server did not stop what it did not start
+        finally:
+            engine.stop()
+
+
+class TestEndpoints:
+    def test_index_lists_endpoints(self, server, http_get):
+        status, body = http_get(server.url("/"))
+        assert status == 200
+        assert "/metrics" in body["endpoints"]
+        assert "/readyz" in body["endpoints"]
+
+    def test_unknown_path_404(self, server, http_get):
+        status, body = http_get(server.url("/nope"))
+        assert status == 404
+        assert "unknown path" in body["error"]
+
+    def test_metrics_renders_and_parses(self, server, frontend, estimate_requests, http_get):
+        for request in estimate_requests[:4]:
+            frontend.submit_estimate(request)
+        frontend.drain()
+        status, text = http_get(server.url("/metrics"))
+        assert status == 200
+        series = parse_prometheus_text(text)
+        assert series["repro_frontend_submitted_total"] == 4.0
+        assert series["repro_frontend_ok_total"] == 4.0
+        assert series["repro_ops_up"] == 1.0
+        assert series["repro_ops_ready"] == 1.0
+
+    def test_stats_snapshot_shape(self, server, http_get):
+        status, body = http_get(server.url("/stats"))
+        assert status == 200
+        assert "frontend" in body
+        assert "service" in body
+
+    def test_healthz_ok(self, server, http_get):
+        status, body = http_get(server.url("/healthz"))
+        assert status == 200
+        assert body["status"] == "ok"
+
+    def test_readyz_ok_when_running(self, server, http_get):
+        status, body = http_get(server.url("/readyz"))
+        assert status == 200
+        assert body["ready"] is True
+
+    def test_readyz_503_when_stopped(self, frontend, http_get):
+        with AdminServer(frontend=frontend) as admin:
+            frontend.stop(drain=True)
+            status, body = http_get(admin.url("/readyz"))
+            assert status == 503
+            assert body["ready"] is False
+            failing = [c["name"] for c in body["checks"] if not c["ok"]]
+            assert "frontend_running" in failing
+            # Liveness is unaffected: unready is not unhealthy.
+            status, _ = http_get(admin.url("/healthz"))
+            assert status == 200
+
+    def test_traces_and_slow_queries(self, server, frontend, estimate_requests, http_get):
+        for request in estimate_requests[:6]:
+            frontend.submit_estimate(request)
+        frontend.drain()
+        status, body = http_get(server.url("/traces?n=2"))
+        assert status == 200
+        assert 1 <= len(body["traces"]) <= 2
+        assert body["traces"][0]["spans"]
+        status, body = http_get(server.url("/slow-queries?n=1"))
+        assert status == 200
+        assert len(body["slow_queries"]) == 1
+
+    def test_alerts_404_without_engine(self, server, http_get):
+        status, body = http_get(server.url("/alerts"))
+        assert status == 404
+        assert "SLO" in body["error"]
+
+    def test_alerts_with_engine(self, frontend, http_get):
+        engine = SLOEngine.for_stack(
+            frontend=frontend, parameters=SLOParameters(latency_threshold_s=0.5)
+        )
+        admin = AdminServer(
+            frontend=frontend,
+            slo_engine=engine,
+            parameters=OpsParameters(slo_evaluation_period_s=0.01),
+        )
+        with admin:
+            status, body = http_get(admin.url("/alerts"))
+            assert status == 200
+            assert body["alerts"] == []
+            names = [slo["name"] for slo in body["slos"]]
+            assert "availability" in names
+            assert any(name.startswith("latency-") for name in names)
+
+    def test_profile_on_demand(self, server, http_get):
+        status, body = http_get(server.url("/profile?seconds=0.1&top=3"))
+        assert status == 200
+        assert body["mode"] == "on-demand"
+        assert body["samples"] > 0
+        assert all(len(c["top"]) <= 3 for c in body["components"].values())
+
+    def test_profile_duration_is_clamped(self, frontend, http_get):
+        parameters = OpsParameters(
+            profile_default_seconds=0.05, profile_max_seconds=0.1
+        )
+        with AdminServer(frontend=frontend, parameters=parameters) as admin:
+            status, body = http_get(admin.url("/profile?seconds=60"))
+            assert status == 200
+            assert body["duration_s"] < 5.0
+
+    def test_profile_rejects_bad_seconds(self, server, http_get):
+        status, body = http_get(server.url("/profile?seconds=-1"))
+        assert status == 400
+        assert "seconds" in body["error"]
+
+    def test_request_counts(self, server, http_get):
+        http_get(server.url("/healthz"))
+        http_get(server.url("/healthz"))
+        http_get(server.url("/readyz"))
+        counts = server.request_counts()
+        assert counts["/healthz"] >= 2
+        assert counts["/readyz"] >= 1
+
+
+class TestContinuousProfiling:
+    def test_always_on_profiler_backs_profile_endpoint(self, service, http_get):
+        from repro import FrontendParameters, ServingFrontend
+
+        telemetry = Telemetry(TelemetryParameters(continuous_profile_hz=50.0))
+        frontend = ServingFrontend(
+            service, FrontendParameters(n_workers=1), telemetry=telemetry
+        )
+        frontend.start()
+        try:
+            with AdminServer(frontend=frontend) as admin:
+                import time
+
+                time.sleep(0.1)
+                status, body = http_get(admin.url("/profile"))
+                assert status == 200
+                assert body["mode"] == "continuous"
+                assert body["samples"] > 0
+                # An explicit duration still runs an on-demand session.
+                status, body = http_get(admin.url("/profile?seconds=0.05"))
+                assert body["mode"] == "on-demand"
+        finally:
+            frontend.stop(drain=False)
+
+
+class TestBareTelemetryServer:
+    def test_metrics_without_frontend(self, http_get):
+        telemetry = Telemetry()
+        telemetry.registry.counter("repro_x_total").inc(3)
+        with AdminServer(telemetry=telemetry) as admin:
+            status, text = http_get(admin.url("/metrics"))
+            assert parse_prometheus_text(text)["repro_x_total"] == 3.0
+            status, body = http_get(admin.url("/stats"))
+            assert status == 200
+            assert body["metrics"]["repro_x_total"] == 3
+
+    def test_missing_components_answer_404(self, http_get):
+        with AdminServer() as admin:
+            for path in ("/metrics", "/stats", "/traces", "/slow-queries", "/alerts"):
+                status, body = http_get(admin.url(path))
+                assert status == 404, path
+                assert "error" in body
+            status, _ = http_get(admin.url("/healthz"))
+            assert status == 200

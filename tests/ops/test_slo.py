@@ -1,0 +1,260 @@
+"""Tests for the SLO engine and burn-rate alerting (repro.ops.slo)."""
+
+import json
+import logging
+
+import pytest
+
+from repro import (
+    AvailabilitySLO,
+    CallbackAlertSink,
+    JsonLinesAlertSink,
+    LatencySLO,
+    LogAlertSink,
+    MetricsRegistry,
+    OpsError,
+    SLOEngine,
+    SLOParameters,
+    StalenessSLO,
+    render_prometheus,
+)
+
+FAST = 10.0
+SLOW = 60.0
+PARAMS = SLOParameters(
+    latency_threshold_s=0.1,
+    latency_objective=0.99,
+    availability_objective=0.99,
+    fast_window_s=FAST,
+    slow_window_s=SLOW,
+    fast_burn_threshold=14.4,
+    slow_burn_threshold=6.0,
+)
+
+
+def latency_slo(registry=None):
+    registry = registry or MetricsRegistry()
+    hist = registry.histogram("repro_t_seconds", bounds=(0.01, 0.1, 1.0))
+    return hist, LatencySLO("latency", hist, 0.1, 0.99, horizon_s=SLOW)
+
+
+class TestSLOMath:
+    def test_burn_rate_is_error_over_budget(self):
+        hist, slo = latency_slo()
+        slo.sample(0.0)
+        for _ in range(90):
+            hist.observe(0.005)
+        for _ in range(10):
+            hist.observe(0.5)
+        slo.sample(1.0)
+        # 10% errors against a 1% budget: burn = 10x.
+        assert slo.error_fraction(FAST, 1.0) == pytest.approx(0.1)
+        assert slo.burn_rate(FAST, 1.0) == pytest.approx(10.0)
+
+    def test_empty_window_is_none(self):
+        _, slo = latency_slo()
+        assert slo.burn_rate(FAST, 0.0) is None
+        slo.sample(0.0)
+        slo.sample(1.0)
+        assert slo.burn_rate(FAST, 1.0) is None  # no events: no verdict
+
+    def test_availability_slo_counts_bad_over_total(self):
+        state = {"total": 0.0, "bad": 0.0}
+        slo = AvailabilitySLO(
+            "availability",
+            lambda: state["total"],
+            lambda: state["bad"],
+            objective=0.99,
+            horizon_s=SLOW,
+        )
+        slo.sample(0.0)
+        state["total"], state["bad"] = 200.0, 4.0
+        slo.sample(1.0)
+        assert slo.error_fraction(FAST, 1.0) == pytest.approx(0.02)
+        assert slo.burn_rate(FAST, 1.0) == pytest.approx(2.0)
+
+    def test_staleness_slo_fraction_above_limit(self):
+        level = {"v": 0.0}
+        slo = StalenessSLO("staleness", lambda: level["v"], 10.0, 0.9, horizon_s=SLOW)
+        for t in range(10):
+            level["v"] = 50.0 if t >= 8 else 0.0
+            slo.sample(float(t))
+        assert slo.error_fraction(10.0, 9.0) == pytest.approx(0.2)
+
+    def test_invalid_objectives_raise(self):
+        hist, _ = latency_slo()
+        with pytest.raises(OpsError):
+            LatencySLO("x", hist, 0.1, 1.0, horizon_s=SLOW)
+        with pytest.raises(OpsError):
+            LatencySLO("x", hist, -1.0, 0.99, horizon_s=SLOW)
+        with pytest.raises(OpsError):
+            StalenessSLO("x", lambda: 0.0, -1.0, 0.99, horizon_s=SLOW)
+
+
+class TestBurnRateAlerting:
+    def drive(self, engine, hist, ticks, errors_per_tick, total_per_tick=100):
+        """Advance the engine one second per tick with a fixed error mix."""
+        alerts = []
+        for tick in ticks:
+            for _ in range(total_per_tick - errors_per_tick):
+                hist.observe(0.005)
+            for _ in range(errors_per_tick):
+                hist.observe(0.5)
+            alerts.extend(engine.evaluate(now=float(tick)))
+        return alerts
+
+    def build_engine(self, sink_events):
+        registry = MetricsRegistry()
+        hist, slo = latency_slo(registry)
+        engine = SLOEngine(
+            parameters=PARAMS, sinks=[CallbackAlertSink(sink_events.append)]
+        )
+        engine.add(slo)
+        return engine, hist
+
+    def test_sustained_burn_fires_and_recovery_resolves(self):
+        events = []
+        engine, hist = self.build_engine(events)
+        # 30% errors against a 1% budget: burn = 30x on both windows.
+        alerts = self.drive(engine, hist, range(0, 8), errors_per_tick=30)
+        assert [a.state for a in alerts] == ["firing"]
+        assert engine.firing() == ["latency"]
+        fired = alerts[0]
+        assert fired.slo == "latency"
+        assert fired.fast_burn > PARAMS.fast_burn_threshold
+        assert fired.slow_burn > PARAMS.slow_burn_threshold
+        # Clean traffic: the fast window clears and the alert resolves
+        # while the slow window is still polluted.
+        alerts = self.drive(engine, hist, range(8, 24), errors_per_tick=0)
+        assert [a.state for a in alerts] == ["resolved"]
+        assert engine.firing() == []
+        # Sinks saw both transitions, history keeps them newest-first.
+        assert [a.state for a in events] == ["firing", "resolved"]
+        assert [a.state for a in engine.alerts()] == ["resolved", "firing"]
+
+    def test_compliant_run_fires_nothing(self):
+        events = []
+        engine, hist = self.build_engine(events)
+        # 0.5% errors against a 1% budget: burn 0.5x, never alerts.
+        alerts = self.drive(
+            engine, hist, range(0, 30), errors_per_tick=1, total_per_tick=200
+        )
+        assert alerts == []
+        assert events == []
+        assert engine.firing() == []
+
+    def test_brief_blip_does_not_fire(self):
+        # Two fully-failed ticks after a long clean run: the fast window
+        # burns past its threshold, but the slow window stays under its
+        # own -- the multi-window rule keeps a brief blip from paging.
+        events = []
+        engine, hist = self.build_engine(events)
+        self.drive(engine, hist, range(0, 55), errors_per_tick=0)
+        alerts = self.drive(engine, hist, [55, 56], errors_per_tick=100)
+        assert alerts == []
+        (state,) = engine.snapshot()["slos"]
+        assert state["fast_burn"] >= PARAMS.fast_burn_threshold
+        assert state["slow_burn"] < PARAMS.slow_burn_threshold
+        alerts = self.drive(engine, hist, range(57, 62), errors_per_tick=0)
+        assert alerts == []
+        assert events == []
+
+    def test_no_traffic_never_fires(self):
+        events = []
+        engine, hist = self.build_engine(events)
+        for tick in range(20):
+            assert engine.evaluate(now=float(tick)) == []
+        assert events == []
+
+    def test_snapshot_shape(self):
+        events = []
+        engine, hist = self.build_engine(events)
+        self.drive(engine, hist, range(0, 3), errors_per_tick=30)
+        snap = engine.snapshot()
+        assert snap["firing"] == ["latency"]
+        (entry,) = snap["slos"]
+        assert entry["name"] == "latency"
+        assert entry["firing"] is True
+        assert entry["fast_burn"] > 1.0
+        assert entry["threshold_s"] == 0.1
+        assert snap["evaluations"] == 3
+
+    def test_register_metrics_exports_burn_gauges(self):
+        registry = MetricsRegistry()
+        events = []
+        engine, hist = self.build_engine(events)
+        engine.register_metrics(registry)
+        self.drive(engine, hist, range(0, 3), errors_per_tick=30)
+        text = render_prometheus(registry)
+        series = {
+            line.split(" ")[0]: line.split(" ")[1]
+            for line in text.splitlines()
+            if line and not line.startswith("#")
+        }
+        assert float(series['repro_slo_alert_firing{slo="latency"}']) == 1.0
+        assert float(series['repro_slo_burn_rate{slo="latency",window="fast"}']) > 14.4
+
+    def test_duplicate_slo_name_rejected(self):
+        engine = SLOEngine(parameters=PARAMS)
+        _, slo = latency_slo()
+        engine.add(slo)
+        _, other = latency_slo()
+        with pytest.raises(OpsError):
+            engine.add(other)
+
+    def test_background_loop_start_stop(self):
+        engine = SLOEngine(parameters=PARAMS)
+        _, slo = latency_slo()
+        engine.add(slo)
+        engine.start(period_s=0.01)
+        try:
+            with pytest.raises(OpsError):
+                engine.start(period_s=0.01)
+            import time
+
+            deadline = time.monotonic() + 5.0
+            while engine.evaluations == 0 and time.monotonic() < deadline:
+                time.sleep(0.01)
+        finally:
+            engine.stop()
+        assert engine.evaluations >= 1
+        engine.stop()  # idempotent
+
+
+class TestAlertSinks:
+    def alert(self):
+        events = []
+        engine = SLOEngine(parameters=PARAMS, sinks=[CallbackAlertSink(events.append)])
+        hist, slo = latency_slo()
+        engine.add(slo)
+        for tick in range(3):
+            for _ in range(70):
+                hist.observe(0.005)
+            for _ in range(30):
+                hist.observe(0.5)
+            engine.evaluate(now=float(tick))
+        return events[0]
+
+    def test_jsonlines_sink_appends(self, tmp_path):
+        path = tmp_path / "alerts.jsonl"
+        sink = JsonLinesAlertSink(path)
+        alert = self.alert()
+        sink.emit(alert)
+        sink.emit(alert)
+        lines = [json.loads(l) for l in path.read_text().strip().splitlines()]
+        assert len(lines) == 2
+        assert lines[0]["slo"] == "latency"
+        assert lines[0]["state"] == "firing"
+        assert lines[0]["fast_burn"] > 14.4
+
+    def test_log_sink_warns_on_fire(self, caplog):
+        target = logging.getLogger("test.slo.sink")
+        sink = LogAlertSink(target)
+        with caplog.at_level(logging.WARNING, logger="test.slo.sink"):
+            sink.emit(self.alert())
+        assert any("firing" in record.message for record in caplog.records)
+
+    def test_alert_to_dict_round_trips_json(self):
+        payload = json.loads(json.dumps(self.alert().to_dict()))
+        assert payload["slo"] == "latency"
+        assert payload["fast_window_s"] == FAST

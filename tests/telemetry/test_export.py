@@ -176,3 +176,204 @@ class TestTelemetryHub:
         hub = Telemetry()
         reporter = hub.reporter(tmp_path / "r.jsonl")
         assert reporter._period_s == hub.parameters.reporter_period_s
+
+
+class TestAdversarialLabelRoundTrip:
+    """Export -> parse must be the identity for any label value."""
+
+    def render_one(self, value: str) -> str:
+        registry = MetricsRegistry()
+        registry.gauge(
+            "repro_adversarial", labels={"k": value}, callback=lambda: 1.0
+        )
+        return render_prometheus(registry)
+
+    @pytest.mark.parametrize(
+        "value",
+        [
+            'closing } brace',
+            'open { brace',
+            'comma, and = sign',
+            'quote " inside',
+            "backslash \\ inside",
+            'trailing backslash-quote \\"',
+            "newline\ninside",
+            "\\n literal backslash-n",
+            '}",{"',
+            '\\"}\\n',
+            "\\\\\\",  # odd run of backslashes
+            "tab\tand spaces  ",
+        ],
+    )
+    def test_round_trips(self, value):
+        series = parse_prometheus_text(self.render_one(value))
+        from repro.telemetry.export import _escape_label_value
+
+        key = f'repro_adversarial{{k="{_escape_label_value(value)}"}}'
+        assert series == {key: 1.0}
+
+    def test_unescape_inverts_escape(self):
+        from repro.telemetry.export import _escape_label_value, _unescape_label_value
+
+        for value in ['a"b\\c\nd}e,f{g', "\\\\", '\\"', "\n\n", ""]:
+            assert _unescape_label_value(_escape_label_value(value)) == value
+
+    def test_unescape_rejects_unknown_escape(self):
+        from repro.telemetry.export import _unescape_label_value
+
+        with pytest.raises(TelemetryError):
+            _unescape_label_value("\\t")
+        with pytest.raises(TelemetryError):
+            _unescape_label_value("dangling\\")
+
+    def test_parser_rejects_unterminated_value(self):
+        with pytest.raises(TelemetryError):
+            parse_prometheus_text('repro_x{k="open 1\n')
+
+    def test_parser_rejects_unknown_escape(self):
+        with pytest.raises(TelemetryError):
+            parse_prometheus_text('repro_x{k="bad\\t"} 1\n')
+
+    def test_parser_rejects_garbage_after_labels(self):
+        with pytest.raises(TelemetryError):
+            parse_prometheus_text('repro_x{k="v"}junk 1\n')
+
+    def test_crlf_lines_parse(self):
+        assert parse_prometheus_text("repro_x_total 1\r\nrepro_y_total 2\r\n") == {
+            "repro_x_total": 1.0,
+            "repro_y_total": 2.0,
+        }
+
+    def test_raw_carriage_return_in_value_round_trips(self):
+        # \r is not escaped by the exposition format; it must survive
+        # inside the quotes rather than splitting the line.
+        series = parse_prometheus_text(self.render_one("carriage\rreturn"))
+        assert list(series.values()) == [1.0]
+
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis is in the test image
+    HAVE_HYPOTHESIS = False
+
+
+@pytest.mark.skipif(not HAVE_HYPOTHESIS, reason="hypothesis not installed")
+class TestLabelRoundTripProperty:
+    @given(
+        value=st.text(
+            alphabet=st.characters(
+                codec="utf-8", exclude_characters=["\r"]
+            ),
+            max_size=64,
+        )
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_any_label_value_round_trips(self, value):
+        registry = MetricsRegistry()
+        registry.gauge("repro_prop", labels={"k": value}, callback=lambda: 1.0)
+        series = parse_prometheus_text(render_prometheus(registry))
+        from repro.telemetry.export import _escape_label_value
+
+        assert series == {f'repro_prop{{k="{_escape_label_value(value)}"}}': 1.0}
+
+    @given(
+        values=st.lists(
+            st.text(
+                alphabet=st.characters(codec="utf-8", exclude_characters=["\r"]),
+                max_size=16,
+            ),
+            min_size=1,
+            max_size=4,
+            unique=True,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_multiple_series_stay_distinct(self, values):
+        registry = MetricsRegistry()
+        for index, value in enumerate(values):
+            registry.gauge(
+                "repro_prop", labels={"k": value}, callback=lambda i=index: float(i)
+            )
+        series = parse_prometheus_text(render_prometheus(registry))
+        assert len(series) == len(values)
+        assert sorted(series.values()) == sorted(float(i) for i in range(len(values)))
+
+
+class TestBoundedStatsReporter:
+    def snapshot_fn(self):
+        return {"payload": "x" * 64}
+
+    def test_rotate_bounds_total_growth(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        reporter = StatsReporter(
+            self.snapshot_fn, path, period_s=0.005, max_bytes=512, on_full="rotate"
+        )
+        with reporter:
+            time.sleep(0.25)
+        rotated = tmp_path / "r.jsonl.1"
+        # One line is ~120 bytes; the budget is enforced up to one line.
+        slack = 512 + 256
+        assert path.stat().st_size <= slack
+        assert reporter.rotations >= 1
+        assert rotated.exists()
+        assert rotated.stat().st_size <= slack
+        # Every surviving line is complete JSON.
+        for file in (path, rotated):
+            for line in file.read_text(encoding="utf-8").strip().splitlines():
+                assert json.loads(line)["payload"].startswith("x")
+
+    def test_truncate_drops_oldest_keeps_newest(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        counter = {"n": 0}
+
+        def snapshot():
+            counter["n"] += 1
+            return {"n": counter["n"], "pad": "y" * 64}
+
+        reporter = StatsReporter(
+            snapshot, path, period_s=0.005, max_bytes=600, on_full="truncate"
+        )
+        with reporter:
+            time.sleep(0.25)
+        assert path.stat().st_size <= 600 + 256
+        assert reporter.rotations >= 1
+        assert not (tmp_path / "r.jsonl.1").exists()
+        lines = [json.loads(l) for l in path.read_text().strip().splitlines()]
+        # Newest lines survive, in order; the oldest were dropped.
+        ns = [line["n"] for line in lines]
+        assert ns == sorted(ns)
+        assert ns[-1] == counter["n"]
+        assert ns[0] > 1
+
+    def test_unbounded_reporter_never_rotates(self, tmp_path):
+        reporter = StatsReporter(self.snapshot_fn, tmp_path / "r.jsonl", period_s=0.01)
+        with reporter:
+            time.sleep(0.03)
+        assert reporter.rotations == 0
+
+    def test_fsync_period_accepted(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        reporter = StatsReporter(
+            self.snapshot_fn, path, period_s=0.01, fsync_period_s=0.0
+        )
+        with reporter:
+            time.sleep(0.03)
+        assert reporter.lines_written >= 1
+        assert path.stat().st_size > 0
+
+    def test_invalid_options_raise(self, tmp_path):
+        with pytest.raises(TelemetryError):
+            StatsReporter(lambda: {}, tmp_path / "r.jsonl", max_bytes=0)
+        with pytest.raises(TelemetryError):
+            StatsReporter(lambda: {}, tmp_path / "r.jsonl", on_full="explode")
+        with pytest.raises(TelemetryError):
+            StatsReporter(lambda: {}, tmp_path / "r.jsonl", fsync_period_s=-1.0)
+
+    def test_hub_reporter_passes_through_bounds(self, tmp_path):
+        hub = Telemetry()
+        reporter = hub.reporter(tmp_path / "r.jsonl", max_bytes=4096, on_full="truncate")
+        assert reporter._max_bytes == 4096
+        assert reporter._on_full == "truncate"

@@ -1,0 +1,146 @@
+"""Tests for the sliding-window reducers (repro.telemetry.windows)."""
+
+import pytest
+
+from repro import TelemetryError
+from repro.telemetry import (
+    CounterWindow,
+    GaugeWindow,
+    HistogramWindow,
+    MetricsRegistry,
+)
+
+
+class TestCounterWindow:
+    def test_no_data_reports_none(self):
+        window = CounterWindow(lambda: 0.0, horizon_s=60.0)
+        assert window.delta(10.0, now=0.0) is None
+        window.sample(0.0)
+        assert window.delta(10.0, now=0.0) is None  # one sample: no baseline
+
+    def test_delta_is_windowed(self):
+        value = {"v": 0.0}
+        window = CounterWindow(lambda: value["v"], horizon_s=100.0)
+        for t in range(0, 10):
+            value["v"] = float(t * 5)
+            window.sample(float(t))
+        # Last 4 seconds: counter rose from 25 (t=5) to 45 (t=9).
+        assert window.delta(4.0, now=9.0) == pytest.approx(20.0)
+        # Full horizon: everything.
+        assert window.delta(100.0, now=9.0) == pytest.approx(45.0)
+
+    def test_rate_uses_covered_span(self):
+        value = {"v": 0.0}
+        window = CounterWindow(lambda: value["v"], horizon_s=100.0)
+        window.sample(0.0)
+        value["v"] = 30.0
+        window.sample(10.0)
+        assert window.rate(10.0, now=10.0) == pytest.approx(3.0)
+
+    def test_counter_reset_clamps_to_zero(self):
+        value = {"v": 100.0}
+        window = CounterWindow(lambda: value["v"], horizon_s=100.0)
+        window.sample(0.0)
+        value["v"] = 5.0  # component restarted
+        window.sample(1.0)
+        assert window.delta(10.0, now=1.0) == 0.0
+
+    def test_old_samples_are_pruned(self):
+        value = {"v": 0.0}
+        window = CounterWindow(lambda: value["v"], horizon_s=5.0)
+        for t in range(0, 50):
+            value["v"] = float(t)
+            window.sample(float(t))
+        assert len(window._ring) <= 8  # horizon + one baseline sample
+
+    def test_rejects_time_travel(self):
+        window = CounterWindow(lambda: 0.0, horizon_s=5.0)
+        window.sample(10.0)
+        with pytest.raises(TelemetryError):
+            window.sample(9.0)
+
+    def test_rejects_bad_horizon(self):
+        with pytest.raises(TelemetryError):
+            CounterWindow(lambda: 0.0, horizon_s=0.0)
+
+
+class TestHistogramWindow:
+    def build(self, bounds=(0.01, 0.1, 1.0)):
+        registry = MetricsRegistry()
+        hist = registry.histogram("repro_t_seconds", bounds=bounds)
+        return hist, HistogramWindow(hist, horizon_s=100.0)
+
+    def test_fraction_at_most_windows_events(self):
+        hist, window = self.build()
+        window.sample(0.0)
+        for _ in range(8):
+            hist.observe(0.005)  # fast
+        for _ in range(2):
+            hist.observe(0.5)  # slow
+        window.sample(1.0)
+        assert window.count(10.0, now=1.0) == 10
+        assert window.fraction_at_most(0.1, 10.0, now=1.0) == pytest.approx(0.8)
+        # Only the *new* events count in a later window.
+        for _ in range(5):
+            hist.observe(0.5)
+        window.sample(2.0)
+        assert window.fraction_at_most(0.1, 0.5, now=2.0) == pytest.approx(0.0)
+
+    def test_threshold_inside_bucket_is_conservative(self):
+        hist, window = self.build(bounds=(0.1, 1.0))
+        window.sample(0.0)
+        for _ in range(10):
+            hist.observe(0.05)  # lands in the <=0.1 bucket
+        window.sample(1.0)
+        # 0.5 sits inside the (0.1, 1.0] bucket: only events provably
+        # <= 0.1 are credited, never the whole containing bucket.
+        assert window.fraction_at_most(0.5, 10.0, now=1.0) == pytest.approx(1.0)
+        assert window.fraction_at_most(0.05, 10.0, now=1.0) == pytest.approx(0.0)
+
+    def test_empty_window_reports_none(self):
+        hist, window = self.build()
+        assert window.fraction_at_most(0.1, 10.0, now=0.0) is None
+        window.sample(0.0)
+        window.sample(1.0)  # two samples, zero events
+        assert window.fraction_at_most(0.1, 10.0, now=1.0) is None
+        assert window.count(10.0, now=1.0) == 0
+
+    def test_percentiles_over_window(self):
+        hist, window = self.build(bounds=(0.01, 0.1, 1.0))
+        window.sample(0.0)
+        for _ in range(99):
+            hist.observe(0.005)
+        hist.observe(0.5)
+        window.sample(1.0)
+        pct = window.percentiles(10.0, now=1.0, points=(50.0, 99.9))
+        assert pct["p50"] <= 0.01
+        assert pct["p999"] > 0.1
+
+    def test_percentiles_empty_window(self):
+        _, window = self.build()
+        assert window.percentiles(10.0, now=0.0) == {}
+
+
+class TestGaugeWindow:
+    def test_fraction_above(self):
+        level = {"v": 0.0}
+        window = GaugeWindow(lambda: level["v"], horizon_s=100.0)
+        for t in range(10):
+            level["v"] = 10.0 if t >= 7 else 1.0
+            window.sample(float(t))
+        assert window.fraction_above(5.0, 10.0, now=9.0) == pytest.approx(0.3)
+        assert window.fraction_above(5.0, 3.0, now=9.0) == pytest.approx(1.0)
+
+    def test_empty_window_is_none(self):
+        window = GaugeWindow(lambda: 0.0, horizon_s=10.0)
+        assert window.fraction_above(1.0, 5.0, now=0.0) is None
+        assert window.maximum(5.0, now=0.0) is None
+
+    def test_latest_and_maximum(self):
+        level = {"v": 0.0}
+        window = GaugeWindow(lambda: level["v"], horizon_s=100.0)
+        for t, v in enumerate((1.0, 9.0, 4.0)):
+            level["v"] = v
+            window.sample(float(t))
+        assert window.latest() == 4.0
+        assert window.maximum(10.0, now=2.0) == 9.0
